@@ -1,0 +1,66 @@
+"""Ablation: quality vs the number of hierarchies N_H.
+
+The paper (§7.2, case c1 discussion) observes informally that "only ten
+hierarchies are sufficient for TIMER to improve the communication costs
+significantly".  This bench quantifies the NH -> Coco curve on a
+representative instance and asserts the paper's claims:
+
+- quality improves monotonically with NH (same RNG stream: a longer run
+  extends the shorter one's accepted trajectory);
+- the marginal gain between NH=10 and NH=25 is smaller than the gain
+  between NH=1 and NH=10 (diminishing returns).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import TimerConfig
+from repro.core.enhancer import timer_enhance
+from repro.experiments.instances import generate_instance
+from repro.experiments.topologies import make_topology
+from repro.mapping.mapper import compute_initial_mapping
+from repro.partitioning.kway import partition_kway
+
+NH_GRID = (1, 5, 10, 25)
+
+
+@pytest.fixture(scope="module")
+def cell():
+    ga = generate_instance("PGPgiantcompo", seed=5, divisor=96, n_max=2048)
+    gp, pc = make_topology("grid16x16")
+    part = partition_kway(ga, gp.n, seed=5)
+    mu, _ = compute_initial_mapping("c1", part, gp, seed=6)
+    return ga, gp, pc, mu
+
+
+def test_nh_curve(benchmark, cell):
+    ga, gp, pc, mu = cell
+    cfg = TimerConfig(n_hierarchies=max(NH_GRID), verify_invariants=False)
+    res = benchmark.pedantic(
+        lambda: timer_enhance(ga, gp, pc, mu, seed=7, config=cfg),
+        rounds=1,
+        iterations=1,
+    )
+    history = np.asarray(res.history, dtype=np.float64)
+    print("\nAblation NH -> Coco+ (same stream):")
+    for nh in NH_GRID:
+        print(f"  NH={nh:>3}: Coco+ = {history[nh - 1]:.0f}")
+    assert (np.diff(history) <= 1e-9).all()
+    gain_early = history[0] - history[9]
+    gain_late = history[9] - history[24]
+    assert gain_early >= gain_late  # diminishing returns
+
+
+@pytest.mark.parametrize("nh", [1, 10])
+def test_bench_timer_scaling_in_nh(benchmark, cell, nh):
+    """Runtime is ~linear in NH (§6.3: O(NH |Ea| dim))."""
+    ga, gp, pc, mu = cell
+    cfg = TimerConfig(n_hierarchies=nh, verify_invariants=False)
+    res = benchmark.pedantic(
+        lambda: timer_enhance(ga, gp, pc, mu, seed=8, config=cfg),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(res.history) == nh

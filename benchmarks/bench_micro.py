@@ -1,0 +1,90 @@
+"""Micro-benchmarks of TIMER's building blocks.
+
+Not tied to a paper artifact; these watch the hot kernels the running-time
+analysis of §6.3 talks about (per-level swap pass O(|E|), contraction
+O(|E|), assemble O(|V| dim)) plus partial-cube recognition (§3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.assemble import assemble
+from repro.core.contraction import contract_level, make_finest_level
+from repro.core.labels import build_application_labeling
+from repro.core.objective import coco_plus
+from repro.core.swaps import swap_pass
+from repro.graphs import generators as gen
+from repro.partialcube.djokovic import partial_cube_labeling
+from repro.utils.bitops import permute_bits
+
+
+@pytest.fixture(scope="module")
+def workload():
+    ga = gen.barabasi_albert(2000, 4, seed=1)
+    gp = gen.grid(16, 16)
+    pc = partial_cube_labeling(gp)
+    rng = np.random.default_rng(2)
+    mu = (np.arange(ga.n) % gp.n).astype(np.int64)
+    rng.shuffle(mu)
+    app = build_application_labeling(ga, pc, mu, seed=3)
+    return ga, gp, pc, app
+
+
+def test_bench_partial_cube_recognition(benchmark):
+    gp = gen.grid(16, 16)
+    lab = benchmark(partial_cube_labeling, gp)
+    assert lab.dim == 30
+
+
+def test_bench_recognition_torus512(benchmark):
+    gp = gen.torus(8, 8, 8)
+    lab = benchmark(partial_cube_labeling, gp)
+    assert lab.dim == 12
+
+
+def test_bench_coco_plus_eval(benchmark, workload):
+    ga, _, _, app = workload
+    val = benchmark(coco_plus, ga, app.labels, app.dim_p, app.dim_e)
+    assert np.isfinite(val)
+
+
+def test_bench_swap_pass_level1(benchmark, workload):
+    ga, _, _, app = workload
+
+    def run():
+        lvl = make_finest_level(ga.edge_arrays(), app.labels.copy())
+        return swap_pass(lvl, sign=1)
+
+    n_swaps, _ = benchmark(run)
+    assert n_swaps >= 0
+
+
+def test_bench_contraction(benchmark, workload):
+    ga, _, _, app = workload
+
+    def run():
+        lvl = make_finest_level(ga.edge_arrays(), app.labels.copy())
+        return contract_level(lvl)
+
+    coarse = benchmark(run)
+    assert coarse.n <= ga.n
+
+
+def test_bench_assemble(benchmark, workload):
+    ga, _, _, app = workload
+    levels = [make_finest_level(ga.edge_arrays(), app.labels.copy())]
+    for _ in range(2, app.dim):
+        levels.append(contract_level(levels[-1]))
+
+    out = benchmark(assemble, levels, app.dim)
+    assert np.array_equal(np.sort(out), np.sort(app.labels))
+
+
+def test_bench_permute_labels(benchmark, workload):
+    ga, _, _, app = workload
+    rng = np.random.default_rng(4)
+    perm = rng.permutation(app.dim)
+    out = benchmark(permute_bits, app.labels, perm)
+    assert out.shape == app.labels.shape

@@ -1,0 +1,27 @@
+"""Table 1: the benchmark suite itself.
+
+Regenerates the instance table (paper sizes vs our synthetic stand-ins)
+and benchmarks the generation pipeline of a mid-sized instance.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.instances import generate_instance
+from repro.experiments.reporting import render_table1
+
+
+def test_table1_render(benchmark):
+    text = benchmark.pedantic(
+        lambda: render_table1(divisor=96, seed=2018), rounds=1, iterations=1
+    )
+    print("\n" + text)
+    from benchmarks.conftest import save_artifact
+
+    save_artifact("table1.txt", text)
+    # all 15 rows present
+    assert text.count("\n") >= 16
+
+
+def test_instance_generation_speed(benchmark):
+    g = benchmark(generate_instance, "coAuthorsDBLP", seed=1, divisor=96, n_max=2048)
+    assert g.n > 500

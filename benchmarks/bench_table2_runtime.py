@@ -1,0 +1,57 @@
+"""Table 2: TIMER running time relative to the baseline producer.
+
+The paper divides TIMER's min/mean/max runtime by SCOTCH's mapping time
+(case c1) or KaHIP's partitioning time (cases c2-c4) and reports geometric
+means per topology.  The expected *shape*: c1 quotients far above 1 (DRB
+is much faster than TIMER, paper: ~11-32x), c2-c4 quotients around or
+below 1 (TIMER comparable to partitioning, paper: ~0.33-1.05).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import TimerConfig
+from repro.core.enhancer import timer_enhance
+from repro.experiments.instances import generate_instance
+from repro.experiments.reporting import render_table2
+from repro.experiments.topologies import make_topology
+from repro.mapping.mapper import compute_initial_mapping
+from repro.partitioning.kway import partition_kway
+
+
+def test_table2_render(benchmark, sweep_result):
+    text = benchmark.pedantic(render_table2, args=(sweep_result,), rounds=1, iterations=1)
+    print("\n" + text)
+    from benchmarks.conftest import save_artifact
+
+    save_artifact("table2.txt", text)
+    agg = sweep_result.aggregate()
+    # Shape assertions.  The paper's absolute c1 quotients (11x-32x) come
+    # from NH=50 against C++ SCOTCH; what must survive reimplementation is
+    # the *ordering*: mapping (c1 baseline) is much cheaper than
+    # partitioning (c2-c4 baseline), so qT(c1) >> qT(c2..c4), and TIMER
+    # stays within the same order of magnitude as the partitioner.
+    for topo, by_case in agg.items():
+        if "c1" in by_case and "c2" in by_case:
+            assert (
+                by_case["c1"]["q_time"]["mean"] > 1.5 * by_case["c2"]["q_time"]["mean"]
+            ), topo
+        for case in ("c2", "c3", "c4"):
+            if case in by_case:
+                assert by_case[case]["q_time"]["mean"] < 5.0, (topo, case)
+
+
+def test_timer_kernel_runtime(benchmark):
+    """The timed kernel behind every Table-2 cell: one TIMER invocation."""
+    ga = generate_instance("PGPgiantcompo", seed=1, divisor=96, n_max=2048)
+    gp, pc = make_topology("grid16x16")
+    part = partition_kway(ga, gp.n, seed=1)
+    mu, _ = compute_initial_mapping("c2", part, gp, seed=2)
+    cfg = TimerConfig(n_hierarchies=4, verify_invariants=False)
+
+    def run():
+        return timer_enhance(ga, gp, pc, mu, seed=3, config=cfg)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert res.coco_after <= res.coco_before

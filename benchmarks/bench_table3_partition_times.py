@@ -1,0 +1,59 @@
+"""Table 3: partitioner running times for |V_p| = 256 and 512.
+
+The paper's Table 3 lists KaHIP times per instance for 256 and 512
+blocks; the reproduction benchmarks our multilevel partitioner on the
+scaled instances.  The expected shape: k=512 costs more than k=256 for
+the same instance (one extra recursion level), and times grow with
+instance size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.instances import generate_instance
+from repro.partitioning.kway import partition_kway
+from repro.utils.stopwatch import Stopwatch
+
+INSTANCES = ("p2p-Gnutella", "PGPgiantcompo", "citationCiteseer")
+
+
+@pytest.mark.parametrize("k", [256, 512])
+def test_partition_time_per_k(benchmark, k):
+    ga = generate_instance("PGPgiantcompo", seed=1, divisor=96, n_max=2048)
+    part = benchmark.pedantic(
+        lambda: partition_kway(ga, k, epsilon=0.03, seed=1), rounds=1, iterations=1
+    )
+    part.check_balance(0.03)
+
+
+def test_table3_render(benchmark):
+    """Regenerate the Table-3 rows for a 3-instance subset."""
+
+    def build_rows():
+        rows = []
+        for name in INSTANCES:
+            ga = generate_instance(name, seed=2018, divisor=96, n_max=2048)
+            times = {}
+            for k in (256, 512):
+                sw = Stopwatch()
+                with sw:
+                    partition_kway(ga, k, epsilon=0.03, seed=1)
+                times[k] = sw.elapsed
+            rows.append((name, ga.n, times[256], times[512]))
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    lines = ["Table 3 (scaled instances): partitioner seconds",
+             f"{'Name':<20}{'n':>7}{'k=256':>10}{'k=512':>10}"]
+    for name, n, t256, t512 in rows:
+        lines.append(f"{name:<20}{n:>7}{t256:>10.2f}{t512:>10.2f}")
+    text = "\n".join(lines) + "\n"
+    print("\n" + text)
+    from benchmarks.conftest import save_artifact
+
+    save_artifact("table3.txt", text)
+    # Shape: deeper recursion costs more on every instance.
+    for _, _, t256, t512 in rows:
+        assert t512 > 0.5 * t256

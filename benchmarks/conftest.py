@@ -1,0 +1,68 @@
+"""Shared configuration for the benchmark suite.
+
+Each ``bench_*`` module regenerates one table or figure of the paper (see
+DESIGN.md's experiment index).  pytest-benchmark measures a representative
+kernel of each artifact; the artifact itself (the full table text) is
+printed so a ``pytest benchmarks/ --benchmark-only -s`` run leaves the
+regenerated numbers in the log.
+
+Sizing: the default profile keeps the full suite in the tens of minutes on
+a laptop (5 Table-1 instances, 2 repetitions, NH=6, instances scaled to at
+most 2048 vertices).  Set ``REPRO_BENCH_FULL=1`` for the complete
+15-instance suite with 3 repetitions and NH=16.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig, run_experiment
+
+#: rendered tables/figures are persisted here (pytest captures stdout)
+ARTIFACT_DIR = Path(__file__).parent / "artifacts"
+
+
+def save_artifact(name: str, text: str) -> None:
+    """Persist a rendered table/figure next to the bench that made it."""
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+    (ARTIFACT_DIR / name).write_text(text, encoding="utf-8")
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+#: Default instance subset: one representative of each structural family.
+DEFAULT_INSTANCES = (
+    "p2p-Gnutella",        # configuration-model power law
+    "PGPgiantcompo",       # clustered social
+    "citationCiteseer",    # preferential attachment
+    "wiki-Talk",           # skewed R-MAT
+    "coAuthorsDBLP",       # clustered co-authorship
+)
+
+
+def sweep_config() -> ExperimentConfig:
+    if FULL:
+        return ExperimentConfig(
+            instances=(),  # all 15
+            repetitions=3,
+            n_hierarchies=16,
+            divisor=64,
+            n_max=4096,
+            seed=2018,
+        )
+    return ExperimentConfig(
+        instances=DEFAULT_INSTANCES,
+        repetitions=2,
+        n_hierarchies=6,
+        divisor=96,
+        n_max=2048,
+        seed=2018,
+    )
+
+
+@pytest.fixture(scope="session")
+def sweep_result():
+    """One shared factorial sweep reused by Table 2 / Figure 5 benches."""
+    return run_experiment(sweep_config())

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Capstone: a miniature end-to-end run of the paper's evaluation.
+
+Executes the §7 experiment on a reduced factorial (3 representative
+networks x 2 topologies x all 4 cases x 2 seeds), then prints the
+Table-2 quotients, a Figure-5 panel with an ASCII bar chart, and the
+programmatic validation of the paper's §7.2 claims that apply at this
+scale.
+
+The full-scale regeneration is `python -m repro.experiments all`;
+this script finishes in about a minute.
+
+Run:  python examples/paper_pipeline.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ascii_chart import render_fig5_chart
+from repro.experiments.claims import render_claims, validate_paper_claims
+from repro.experiments.reporting import render_fig5, render_summary, render_table2
+from repro.experiments.runner import ExperimentConfig, run_experiment
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        instances=("p2p-Gnutella", "citationCiteseer", "coAuthorsDBLP"),
+        topologies=("grid16x16", "hq8"),
+        cases=("c1", "c2", "c3", "c4"),
+        repetitions=2,
+        n_hierarchies=6,
+        divisor=128,
+        n_max=1536,
+        seed=7,
+    )
+    print(
+        f"running {len(config.resolved_instances())} instances x "
+        f"{len(config.topologies)} topologies x {len(config.cases)} cases x "
+        f"{config.repetitions} seeds (NH={config.n_hierarchies}) ..."
+    )
+    result = run_experiment(config)
+    print()
+    print(render_table2(result))
+    print(render_fig5(result, "c2"))
+    print(render_fig5_chart(result, "c2"))
+    print(render_summary(result))
+    print(render_claims(validate_paper_claims(result)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""repro: a full reproduction of *Topology-induced Enhancement of Mappings*.
+
+Paper: Roland Glantz, Maria Predari, Henning Meyerhenke,
+ICPP 2018 (arXiv:1804.07131).
+
+The package implements the paper's primary contribution -- the **TIMER**
+multi-hierarchical mapping enhancer for processor graphs that are partial
+cubes -- together with every substrate it depends on:
+
+- a static CSR graph type and generators (grids, tori, hypercubes, trees,
+  complex-network models),
+- partial-cube recognition and Hamming labelings (Djokovic relation),
+- a multilevel k-way graph partitioner (KaHIP stand-in),
+- initial mapping algorithms (identity, greedy construction heuristics,
+  dual recursive bipartitioning as a SCOTCH stand-in),
+- the experiment harness regenerating every table and figure of the paper.
+
+Quickstart
+----------
+>>> from repro import graphs, timer_enhance
+>>> from repro.experiments.topologies import make_topology
+>>> ga = graphs.generators.barabasi_albert(512, 4, seed=1)
+>>> gp, pc = make_topology("grid4x4")
+>>> from repro.partitioning import partition_kway
+>>> part = partition_kway(ga, gp.n, seed=1)
+>>> from repro.mapping import identity_mapping
+>>> mu = identity_mapping(part, gp)
+>>> result = timer_enhance(ga, gp, pc, mu, n_hierarchies=4, seed=1)
+>>> result.coco_after <= result.coco_before
+True
+"""
+
+from repro._version import __version__
+from repro import graphs, partialcube, partitioning, mapping, core, experiments
+from repro.core.enhancer import timer_enhance, TimerResult
+from repro.core.config import TimerConfig
+
+__all__ = [
+    "__version__",
+    "graphs",
+    "partialcube",
+    "partitioning",
+    "mapping",
+    "core",
+    "experiments",
+    "timer_enhance",
+    "TimerResult",
+    "TimerConfig",
+]

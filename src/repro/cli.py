@@ -1,0 +1,184 @@
+"""File-based command line interface: ``python -m repro <command>``.
+
+Gives downstream users the paper's pipeline on their own METIS graphs
+without writing Python:
+
+- ``info GRAPH``                  -- vertex/edge counts, degree stats
+- ``recognize GRAPH``             -- partial-cube verdict, dimension, labels
+- ``partition GRAPH K``           -- balanced k-way partition (KaHIP stand-in)
+- ``map GRAPH TOPOLOGY``          -- partition + initial mapping (c1..c4)
+- ``enhance GRAPH TOPOLOGY MU``   -- run TIMER on an existing mapping
+
+``TOPOLOGY`` is either a registered name (``grid16x16``, ``torus8x8x8``,
+``hq8``, ... -- see ``repro.experiments.topologies``) or a path to a METIS
+file.  Assignments/mappings are plain text: one integer per line, line i =
+block/PE of vertex i.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import TimerConfig
+from repro.core.enhancer import timer_enhance
+from repro.errors import NotPartialCubeError, ReproError
+from repro.experiments.topologies import make_topology, topology_names
+from repro.graphs.graph import Graph
+from repro.graphs.io import read_metis
+from repro.mapping.mapper import compute_initial_mapping
+from repro.mapping.objective import coco
+from repro.partialcube.djokovic import partial_cube_labeling
+from repro.partitioning.kway import partition_kway
+from repro.partitioning.partition import Partition
+
+
+def _load_graph(path: str) -> Graph:
+    return read_metis(path, name=Path(path).stem)
+
+
+def _load_topology(spec: str):
+    """Topology by registry name or METIS path; returns (graph, labeling)."""
+    if spec in topology_names():
+        return make_topology(spec)
+    gp = _load_graph(spec)
+    return gp, partial_cube_labeling(gp)
+
+
+def _write_assignment(path: str | None, values: np.ndarray) -> None:
+    text = "\n".join(str(int(v)) for v in values) + "\n"
+    if path:
+        Path(path).write_text(text, encoding="utf-8")
+    else:
+        sys.stdout.write(text)
+
+
+def _read_assignment(path: str, n: int) -> np.ndarray:
+    values = [int(line) for line in Path(path).read_text().split()]
+    if len(values) != n:
+        raise ReproError(f"mapping file has {len(values)} entries, expected {n}")
+    return np.asarray(values, dtype=np.int64)
+
+
+def cmd_info(args) -> int:
+    g = _load_graph(args.graph)
+    deg = g.degrees
+    print(f"graph:    {g.name}")
+    print(f"vertices: {g.n}")
+    print(f"edges:    {g.m}")
+    print(f"degree:   min {deg.min() if g.n else 0}, "
+          f"mean {deg.mean() if g.n else 0:.2f}, max {deg.max() if g.n else 0}")
+    print(f"total edge weight: {g.total_edge_weight():.1f}")
+    return 0
+
+
+def cmd_recognize(args) -> int:
+    g = _load_graph(args.graph)
+    try:
+        pc = partial_cube_labeling(g)
+    except NotPartialCubeError as exc:
+        print(f"NOT a partial cube: {exc} (reason: {exc.reason})")
+        return 1
+    print(f"partial cube of dimension {pc.dim}")
+    if args.labels:
+        for v in range(g.n):
+            print(f"{v} {int(pc.labels[v]):0{pc.dim}b}")
+    return 0
+
+
+def cmd_partition(args) -> int:
+    g = _load_graph(args.graph)
+    part = partition_kway(g, args.k, epsilon=args.epsilon, seed=args.seed)
+    print(f"cut = {part.edge_cut():.1f}, imbalance = {part.imbalance():.4f}",
+          file=sys.stderr)
+    _write_assignment(args.out, part.assignment)
+    return 0
+
+
+def cmd_map(args) -> int:
+    g = _load_graph(args.graph)
+    gp, _pc = _load_topology(args.topology)
+    part = partition_kway(g, gp.n, epsilon=args.epsilon, seed=args.seed)
+    mu, secs = compute_initial_mapping(args.case, part, gp, seed=args.seed)
+    print(f"Coco = {coco(g, gp, mu):.1f} (mapping time {secs:.2f}s)",
+          file=sys.stderr)
+    _write_assignment(args.out, mu)
+    return 0
+
+
+def cmd_enhance(args) -> int:
+    g = _load_graph(args.graph)
+    gp, pc = _load_topology(args.topology)
+    mu = _read_assignment(args.mu, g.n)
+    cfg = TimerConfig(n_hierarchies=args.nh, swap_strategy=args.strategy)
+    res = timer_enhance(g, gp, pc, mu, seed=args.seed, config=cfg)
+    print(
+        f"Coco {res.coco_before:.1f} -> {res.coco_after:.1f} "
+        f"({res.coco_improvement:.1%}), cut {res.cut_before:.1f} -> "
+        f"{res.cut_after:.1f}, {res.hierarchies_accepted}/{args.nh} accepted, "
+        f"{res.elapsed_seconds:.2f}s",
+        file=sys.stderr,
+    )
+    _write_assignment(args.out, res.mu_after)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="TIMER mapping pipeline on METIS graph files.",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    q = sub.add_parser("info", help="graph statistics")
+    q.add_argument("graph")
+    q.set_defaults(fn=cmd_info)
+
+    q = sub.add_parser("recognize", help="partial-cube recognition + labels")
+    q.add_argument("graph")
+    q.add_argument("--labels", action="store_true", help="print vertex labels")
+    q.set_defaults(fn=cmd_recognize)
+
+    q = sub.add_parser("partition", help="balanced k-way partition")
+    q.add_argument("graph")
+    q.add_argument("k", type=int)
+    q.add_argument("--epsilon", type=float, default=0.03)
+    q.add_argument("--seed", type=int, default=0)
+    q.add_argument("-o", "--out", default=None)
+    q.set_defaults(fn=cmd_partition)
+
+    q = sub.add_parser("map", help="partition + initial mapping")
+    q.add_argument("graph")
+    q.add_argument("topology", help="registered name or METIS file")
+    q.add_argument("--case", choices=["c1", "c2", "c3", "c4"], default="c2")
+    q.add_argument("--epsilon", type=float, default=0.03)
+    q.add_argument("--seed", type=int, default=0)
+    q.add_argument("-o", "--out", default=None)
+    q.set_defaults(fn=cmd_map)
+
+    q = sub.add_parser("enhance", help="run TIMER on an existing mapping")
+    q.add_argument("graph")
+    q.add_argument("topology")
+    q.add_argument("mu", help="mapping file (one PE id per line)")
+    q.add_argument("--nh", type=int, default=50)
+    q.add_argument("--strategy", choices=["greedy", "kl"], default="greedy")
+    q.add_argument("--seed", type=int, default=0)
+    q.add_argument("-o", "--out", default=None)
+    q.set_defaults(fn=cmd_enhance)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,32 @@
+"""TIMER -- the paper's primary contribution (sections 4-6).
+
+Pipeline implemented here:
+
+1. :mod:`~repro.core.labels` -- extend the processor labeling to unique
+   application-vertex labels ``l_a = l_p . l_e`` (§4).
+2. :mod:`~repro.core.objective` -- the extended objective
+   ``Coco+ = Coco - Div`` (§5) with vectorized and incremental forms.
+3. :mod:`~repro.core.contraction` -- label-driven coarsening (§6,
+   ``contract``).
+4. :mod:`~repro.core.swaps` -- the greedy sibling-label swap pass run on
+   every hierarchy level (Algorithm 1, lines 10-12).
+5. :mod:`~repro.core.assemble` -- rebuilding a fine labeling from a
+   swapped hierarchy (Algorithm 2).
+6. :mod:`~repro.core.enhancer` -- :func:`timer_enhance`, Algorithm 1.
+"""
+
+from repro.core.config import TimerConfig
+from repro.core.labels import ApplicationLabeling, build_application_labeling
+from repro.core.objective import coco_plus, coco_of_labels, div_of_labels
+from repro.core.enhancer import timer_enhance, TimerResult
+
+__all__ = [
+    "TimerConfig",
+    "ApplicationLabeling",
+    "build_application_labeling",
+    "coco_plus",
+    "coco_of_labels",
+    "div_of_labels",
+    "timer_enhance",
+    "TimerResult",
+]

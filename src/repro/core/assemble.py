@@ -1,0 +1,118 @@
+"""Rebuilding a fine labeling from a swapped hierarchy (Algorithm 2).
+
+After the per-level swap passes, the hierarchy's level labels no longer
+form consistent prefixes of the level-1 labels; ``assemble`` constructs a
+new level-1 labeling that follows the hierarchy's *preferred digits* --
+digit ``j`` of a vertex wants to equal the least significant digit of its
+level-``j+1`` ancestor's (post-swap) label -- while staying a bijection
+onto the original label set ``L``.
+
+The paper's pseudocode enforces feasibility with a per-vertex existence
+check against a mutating label array and inverts the preferred digit on
+failure.  We implement a *counting* variant with the same preference rule
+but a global guarantee:
+
+    process digits from least to most significant; maintain the invariant
+    that the number of vertices holding any partial suffix equals the
+    number of labels in ``L`` with that suffix; within each suffix group,
+    grant the preferred digit to as many vertices as the group's label
+    capacity allows (in vertex order) and invert the overflow.
+
+Granting exactly ``capacity`` digits per group keeps the invariant, so
+after the last digit the new labeling is a permutation of ``L`` --
+verified by an explicit multiset check.  When no coarse swap happened,
+every preference is satisfiable and ``assemble`` returns the (post
+level-1-swap) input labeling unchanged; a property test pins this down.
+
+The paper inherits the most significant digit from the input labeling
+(Algorithm 2, lines 17-18); we use it as the *preference* for the final
+digit, forced only by the bijectivity constraint.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.contraction import Level
+
+
+def _rank_within_groups(gids: np.ndarray) -> np.ndarray:
+    """Rank of each element within its group, by position order."""
+    if gids.size == 0:
+        return np.empty(0, dtype=np.int64)
+    order = np.argsort(gids, kind="stable")
+    g_sorted = gids[order]
+    is_start = np.empty(g_sorted.shape[0], dtype=bool)
+    is_start[0] = True
+    np.not_equal(g_sorted[1:], g_sorted[:-1], out=is_start[1:])
+    start_pos = np.nonzero(is_start)[0]
+    run_id = np.cumsum(is_start) - 1
+    ranks_sorted = np.arange(g_sorted.shape[0], dtype=np.int64) - start_pos[run_id]
+    ranks = np.empty_like(ranks_sorted)
+    ranks[order] = ranks_sorted
+    return ranks
+
+
+def assemble(levels: list[Level], dim: int) -> np.ndarray:
+    """New level-1 labels from a (post-swap) hierarchy.
+
+    ``levels[0]`` is the finest level (its labels are the multiset ``L``
+    the result must be a bijection onto); ``levels[j]`` is level ``j+1``
+    whose labels' LSBs provide the preferred digit ``j``.
+    """
+    L = levels[0].labels
+    n = L.shape[0]
+    new = (L & 1).astype(np.int64)  # digit 0: own post-swap LSB
+    anc = np.arange(n, dtype=np.int64)
+    for j in range(1, dim):
+        if j < len(levels):
+            parent = levels[j - 1].parent
+            if parent is None:
+                raise RuntimeError(f"level {j} has no parent pointers")
+            anc = parent[anc]
+            pref = (levels[j].labels[anc] & 1).astype(np.int64)
+        else:
+            # No coarser level prescribes this digit (the MSB, and any
+            # digit beyond the built hierarchy): prefer the vertex's own
+            # original digit, as in Algorithm 2 lines 17-18.
+            pref = ((L >> j) & 1).astype(np.int64)
+        new = _assign_digit(new, pref, L, j)
+    _check_bijection(new, L)
+    return new
+
+
+def _assign_digit(
+    new: np.ndarray, pref: np.ndarray, L: np.ndarray, j: int
+) -> np.ndarray:
+    """Grant preferred digit ``j`` subject to per-suffix label capacities."""
+    mask = (np.int64(1) << j) - 1
+    l_suffix = L & mask
+    uniq, inv_L = np.unique(l_suffix, return_inverse=True)
+    capacity1 = np.zeros(uniq.shape[0], dtype=np.int64)
+    np.add.at(capacity1, inv_L, ((L >> j) & 1).astype(np.int64))
+    group_size = np.bincount(inv_L, minlength=uniq.shape[0])
+    capacity0 = group_size - capacity1
+
+    gid = np.searchsorted(uniq, new & mask)
+    # Invariant: every vertex suffix exists among the labels.
+    digit = pref.copy()
+
+    ones = np.nonzero(pref == 1)[0]
+    if ones.size:
+        ranks = _rank_within_groups(gid[ones])
+        overflow = ones[ranks >= capacity1[gid[ones]]]
+        digit[overflow] = 0
+    zeros = np.nonzero(pref == 0)[0]
+    if zeros.size:
+        ranks = _rank_within_groups(gid[zeros])
+        overflow = zeros[ranks >= capacity0[gid[zeros]]]
+        digit[overflow] = 1
+    return new | (digit << j)
+
+
+def _check_bijection(new: np.ndarray, L: np.ndarray) -> None:
+    if not np.array_equal(np.sort(new), np.sort(L)):
+        raise RuntimeError(
+            "assemble() produced labels that are not a permutation of L; "
+            "this is a bug in the counting scheme"
+        )

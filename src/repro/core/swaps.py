@@ -1,0 +1,186 @@
+"""Greedy sibling-label swap pass (Algorithm 1, lines 10-12).
+
+On every hierarchy level, the candidate moves are exchanges of *sibling*
+labels: two vertices whose labels agree on everything except the least
+significant digit.  Such a swap changes only the LSB contribution of the
+two vertices' incident edges, so its effect on the level's ``Coco+``
+estimate is computable in ``O(deg(u) + deg(v))``:
+
+    delta = sign * [ sum_{t~u, t!=v} w(u,t) * (1 - 2*(b_u xor b_t))
+                   + sum_{t~v, t!=u} w(v,t) * (1 - 2*(b_v xor b_t)) ]
+
+where ``b_x`` is the LSB of ``x``'s current label and ``sign`` is +1 when
+the level's LSB is an lp bit (it contributes to Coco) and -1 when it is an
+le bit (it contributes to -Div).  The pass greedily applies every swap
+with negative delta, in ascending label-prefix order, optionally repeating
+until stable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.contraction import Level
+
+
+def build_adjacency(level: Level) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """CSR adjacency (indptr, indices, weights) of a level's edge arrays."""
+    n = level.n
+    src = np.concatenate([level.us, level.vs])
+    dst = np.concatenate([level.vs, level.us])
+    wt = np.concatenate([level.ws, level.ws])
+    order = np.argsort(src, kind="stable")
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(src, minlength=n), out=indptr[1:])
+    return indptr, dst[order], wt[order]
+
+
+def sibling_pairs(labels: np.ndarray) -> np.ndarray:
+    """``(k, 2)`` array of vertex pairs whose labels differ only in bit 0.
+
+    Pairs are returned in ascending prefix order; labels are assumed
+    unique (true on every hierarchy level).
+    """
+    order = np.argsort(labels, kind="stable")
+    lab_sorted = labels[order]
+    adjacent = (lab_sorted[1:] >> 1) == (lab_sorted[:-1] >> 1)
+    first = np.nonzero(adjacent)[0]
+    return np.stack([order[first], order[first + 1]], axis=1)
+
+
+def swap_pass(level: Level, sign: int, sweeps: int = 1) -> tuple[int, float]:
+    """Run greedy sibling swaps on ``level`` (labels mutate in place).
+
+    Returns ``(n_swaps, total_delta)`` where ``total_delta`` is the summed
+    (negative) change of the level's ``Coco+`` estimate.
+    """
+    if sign not in (-1, 1):
+        raise ValueError(f"sign must be +-1, got {sign}")
+    labels = level.labels
+    if labels.shape[0] < 2 or level.us.size == 0:
+        return 0, 0.0
+    indptr, indices, weights = build_adjacency(level)
+    n_swaps = 0
+    total_delta = 0.0
+    for _ in range(max(1, sweeps)):
+        swapped_this_sweep = 0
+        pairs = sibling_pairs(labels)
+        for u, v in pairs:
+            u, v = int(u), int(v)
+            delta = _swap_delta(labels, indptr, indices, weights, u, v, sign)
+            if delta < 0.0:
+                labels[u], labels[v] = labels[v], labels[u]
+                n_swaps += 1
+                swapped_this_sweep += 1
+                total_delta += delta
+        if swapped_this_sweep == 0:
+            break
+    return n_swaps, total_delta
+
+
+def _swap_delta(
+    labels: np.ndarray,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    weights: np.ndarray,
+    u: int,
+    v: int,
+    sign: int,
+) -> float:
+    delta = 0.0
+    for a, other in ((u, v), (v, u)):
+        lo, hi = indptr[a], indptr[a + 1]
+        nbrs = indices[lo:hi]
+        wts = weights[lo:hi]
+        keep = nbrs != other
+        if not keep.all():
+            nbrs = nbrs[keep]
+            wts = wts[keep]
+        if nbrs.size == 0:
+            continue
+        xor_bits = (labels[nbrs] ^ labels[a]) & 1
+        delta += float((wts * (1.0 - 2.0 * xor_bits)).sum())
+    return sign * delta
+
+
+def kl_swap_pass(level: Level, sign: int, sweeps: int = 1) -> tuple[int, float]:
+    """Kernighan-Lin-style swap pass (the paper's future-work variant).
+
+    Where :func:`swap_pass` applies only immediately-improving swaps, this
+    pass executes a full *sequence* of sibling swaps in best-gain-first
+    order -- including negative-gain moves that may unlock later gains --
+    and then rolls back to the best prefix of the sequence, exactly like
+    classic KL/FM.  Each sibling pair moves at most once per sweep.
+
+    Same contract as :func:`swap_pass`: labels mutate in place, the label
+    multiset is preserved, returns ``(n_swaps_kept, total_delta)`` with
+    ``total_delta <= 0``.
+    """
+    import heapq
+
+    if sign not in (-1, 1):
+        raise ValueError(f"sign must be +-1, got {sign}")
+    labels = level.labels
+    if labels.shape[0] < 2 or level.us.size == 0:
+        return 0, 0.0
+    indptr, indices, weights = build_adjacency(level)
+    kept_swaps = 0
+    kept_delta = 0.0
+    for _ in range(max(1, sweeps)):
+        pairs = sibling_pairs(labels)
+        if pairs.shape[0] == 0:
+            break
+        # pair id per vertex for gain invalidation
+        pair_of = {}
+        for pid, (u, v) in enumerate(pairs):
+            pair_of[int(u)] = pid
+            pair_of[int(v)] = pid
+        done = np.zeros(pairs.shape[0], dtype=bool)
+        current = np.empty(pairs.shape[0], dtype=np.float64)
+        heap: list[tuple[float, int, float]] = []
+        for pid, (u, v) in enumerate(pairs):
+            d = _swap_delta(labels, indptr, indices, weights, int(u), int(v), sign)
+            current[pid] = d
+            heapq.heappush(heap, (d, pid, d))
+        executed: list[int] = []
+        cum = 0.0
+        best_cum = 0.0
+        best_len = 0
+        while heap:
+            d, pid, d_rec = heapq.heappop(heap)
+            if done[pid] or current[pid] != d_rec:
+                continue
+            u, v = int(pairs[pid][0]), int(pairs[pid][1])
+            d_now = _swap_delta(labels, indptr, indices, weights, u, v, sign)
+            if d_now != d_rec:
+                current[pid] = d_now
+                heapq.heappush(heap, (d_now, pid, d_now))
+                continue
+            done[pid] = True
+            labels[u], labels[v] = labels[v], labels[u]
+            executed.append(pid)
+            cum += d_now
+            if cum < best_cum - 1e-12:
+                best_cum = cum
+                best_len = len(executed)
+            # invalidate gains of pairs adjacent to u or v
+            for a in (u, v):
+                for t in indices[indptr[a] : indptr[a + 1]]:
+                    qid = pair_of.get(int(t))
+                    if qid is not None and not done[qid]:
+                        x, y = int(pairs[qid][0]), int(pairs[qid][1])
+                        d_new = _swap_delta(
+                            labels, indptr, indices, weights, x, y, sign
+                        )
+                        if d_new != current[qid]:
+                            current[qid] = d_new
+                            heapq.heappush(heap, (d_new, qid, d_new))
+        # roll back past the best prefix
+        for pid in executed[best_len:]:
+            u, v = int(pairs[pid][0]), int(pairs[pid][1])
+            labels[u], labels[v] = labels[v], labels[u]
+        kept_swaps += best_len
+        kept_delta += best_cum
+        if best_len == 0:
+            break
+    return kept_swaps, kept_delta

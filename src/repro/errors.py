@@ -1,0 +1,40 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Keeping a small, explicit hierarchy lets callers distinguish between
+user errors (bad arguments, malformed files) and structural errors
+(graph is not a partial cube, mapping is infeasible) without string
+matching on messages.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class GraphFormatError(ReproError):
+    """A graph file or in-memory description is malformed."""
+
+
+class NotPartialCubeError(ReproError):
+    """Raised when a processor graph fails partial-cube recognition.
+
+    The optional ``reason`` attribute carries the specific structural
+    violation (non-bipartite, overlapping Djokovic classes, distance
+    mismatch) for diagnostics.
+    """
+
+    def __init__(self, message: str, reason: str = "unknown"):
+        super().__init__(message)
+        self.reason = reason
+
+
+class BalanceError(ReproError):
+    """A partition or mapping violates its balance constraint."""
+
+
+class MappingError(ReproError):
+    """A mapping is structurally invalid (wrong size, out of range, ...)."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid algorithm configuration."""

@@ -1,0 +1,61 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+- :mod:`~repro.experiments.topologies` -- the five processor graphs of §7
+  (2DGrid(16x16), 3DGrid(8x8x8), 2DTorus(16x16), 3DTorus(8x8x8), 8-dim
+  hypercube) plus small variants for tests.
+- :mod:`~repro.experiments.instances` -- synthetic stand-ins for the 15
+  complex networks of Table 1.
+- :mod:`~repro.experiments.cases` -- experimental cases c1..c4 (initial
+  mapping algorithms).
+- :mod:`~repro.experiments.metrics` -- the min/mean/max quotient and
+  geometric-mean machinery of §7.1.
+- :mod:`~repro.experiments.runner` -- the factorial driver.
+- :mod:`~repro.experiments.reporting` -- text/CSV rendering of Table 1/2/3
+  and the Figure 5 series.
+- ``python -m repro.experiments`` -- command line entry point.
+"""
+
+from repro.experiments.topologies import (
+    PAPER_TOPOLOGIES,
+    make_topology,
+    topology_names,
+)
+from repro.experiments.instances import (
+    INSTANCES,
+    InstanceSpec,
+    generate_instance,
+    instance_names,
+)
+from repro.experiments.cases import CASES, run_case
+from repro.experiments.metrics import (
+    MinMeanMax,
+    QuotientSummary,
+    geometric_mean,
+    geometric_std,
+    summarize_cell,
+)
+from repro.experiments.runner import ExperimentConfig, run_experiment, CellResult
+from repro.experiments.claims import ClaimCheck, validate_paper_claims, render_claims
+
+__all__ = [
+    "PAPER_TOPOLOGIES",
+    "make_topology",
+    "topology_names",
+    "INSTANCES",
+    "InstanceSpec",
+    "generate_instance",
+    "instance_names",
+    "CASES",
+    "run_case",
+    "MinMeanMax",
+    "QuotientSummary",
+    "geometric_mean",
+    "geometric_std",
+    "summarize_cell",
+    "ExperimentConfig",
+    "run_experiment",
+    "CellResult",
+    "ClaimCheck",
+    "validate_paper_claims",
+    "render_claims",
+]

@@ -1,0 +1,52 @@
+"""Terminal bar charts for the Figure 5 panels.
+
+The paper's Figure 5 is a grouped bar plot of quality quotients around a
+y=1 reference line.  Without a plotting dependency we render the same
+information as horizontal ASCII bars anchored at 1.0: bars to the left
+mean improvement (< 1), to the right deterioration (> 1).
+"""
+
+from __future__ import annotations
+
+import io
+
+#: columns per 0.1 of quotient deviation from 1.0
+SCALE = 40
+SPAN = 0.5  # plot range: 1.0 +- SPAN
+
+
+def bar_for(quotient: float, width: int = SCALE) -> str:
+    """Render one quotient as a bar around the 1.0 axis.
+
+    >>> bar_for(1.0).count('|')
+    1
+    """
+    clipped = max(1.0 - SPAN, min(1.0 + SPAN, quotient))
+    offset = int(round((clipped - 1.0) / SPAN * width))
+    left = " " * (width + min(0, offset)) + "#" * max(0, -offset)
+    right = "#" * max(0, offset)
+    return f"{left}|{right}".ljust(2 * width + 1)
+
+
+def render_fig5_chart(result, case: str) -> str:
+    """ASCII rendition of one Figure 5 panel (mean Cut and Co quotients)."""
+    from repro.experiments.cases import CASES
+
+    agg = result.aggregate()
+    buf = io.StringIO()
+    buf.write(
+        f"Figure 5 ({case} = {CASES.get(case, '?')}) -- bars left of '|' are "
+        "improvements\n"
+    )
+    axis_lo, axis_hi = 1.0 - SPAN, 1.0 + SPAN
+    buf.write(f"{'':<22}{axis_lo:<{SCALE}.2f}1.0{axis_hi:>{SCALE - 2}.2f}\n")
+    for topo in result.config.topologies:
+        q = agg.get(topo, {}).get(case)
+        if q is None:
+            continue
+        for metric, key in (("Cut", "q_cut"), ("Co", "q_coco")):
+            value = q[key]["mean"]
+            buf.write(
+                f"{topo + ' ' + metric:<20} [{bar_for(value)}] {value:5.3f}\n"
+            )
+    return buf.getvalue()

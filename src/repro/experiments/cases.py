@@ -1,0 +1,111 @@
+"""Experimental cases c1..c4 (paper §7.1, "Baselines").
+
+Each case fixes how the initial mapping ``mu_1`` is obtained:
+
+- **c1** SCOTCH: dual recursive bipartitioning mapper (our DRB stand-in).
+  Runtime quotients for c1 are relative to the *mapping* time.
+- **c2** IDENTITY: block i -> PE i on the KaHIP-stand-in partition.
+- **c3** GREEDYALLC, **c4** GREEDYMIN: greedy construction mappings.
+  Runtime quotients for c2-c4 are relative to the *partitioning* time.
+
+:func:`run_case` executes one (instance, topology, case, seed) cell:
+partition -> initial mapping -> TIMER -> metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import TimerConfig
+from repro.core.enhancer import TimerResult, timer_enhance
+from repro.graphs.graph import Graph
+from repro.mapping.mapper import compute_initial_mapping
+from repro.partialcube.djokovic import PartialCubeLabeling
+from repro.partitioning.partition import Partition
+from repro.utils.rng import SeedLike, make_rng
+
+#: case id -> human name, in paper order
+CASES: dict[str, str] = {
+    "c1": "SCOTCH (DRB)",
+    "c2": "IDENTITY",
+    "c3": "GREEDYALLC",
+    "c4": "GREEDYMIN",
+}
+
+
+@dataclass(frozen=True)
+class CaseRun:
+    """Raw measurements of one experiment cell repetition."""
+
+    case: str
+    instance: str
+    topology: str
+    seed: int
+    coco_before: float
+    coco_after: float
+    cut_before: float
+    cut_after: float
+    timer_seconds: float
+    baseline_seconds: float  # partition time (c2-c4) or mapping time (c1)
+    partition_seconds: float
+    mapping_seconds: float
+    hierarchies_accepted: int
+
+    @property
+    def coco_quotient(self) -> float:
+        return self.coco_after / self.coco_before if self.coco_before else 1.0
+
+    @property
+    def cut_quotient(self) -> float:
+        return self.cut_after / self.cut_before if self.cut_before else 1.0
+
+    @property
+    def time_quotient(self) -> float:
+        return (
+            self.timer_seconds / self.baseline_seconds
+            if self.baseline_seconds
+            else float("inf")
+        )
+
+
+def run_case(
+    case: str,
+    ga: Graph,
+    gp: Graph,
+    pc: PartialCubeLabeling,
+    part: Partition,
+    partition_seconds: float,
+    topology_name: str,
+    seed: SeedLike,
+    timer_config: TimerConfig,
+) -> tuple[CaseRun, TimerResult]:
+    """Execute one cell: initial mapping + TIMER + metric collection.
+
+    The partition is passed in (and its time separately) because all of
+    c2..c4 share it -- mirroring the paper, where one KaHIP partition
+    feeds every mapping algorithm.
+    """
+    if case not in CASES:
+        raise KeyError(f"unknown case {case!r}")
+    rng = make_rng(seed)
+    mu, mapping_seconds = compute_initial_mapping(case, part, gp, seed=rng)
+    result = timer_enhance(ga, gp, pc, mu, seed=rng, config=timer_config)
+    baseline = mapping_seconds if case == "c1" else partition_seconds
+    run = CaseRun(
+        case=case,
+        instance=ga.name,
+        topology=topology_name,
+        seed=int(seed) if isinstance(seed, (int, np.integer)) else -1,
+        coco_before=result.coco_before,
+        coco_after=result.coco_after,
+        cut_before=result.cut_before,
+        cut_after=result.cut_after,
+        timer_seconds=result.elapsed_seconds,
+        baseline_seconds=baseline,
+        partition_seconds=partition_seconds,
+        mapping_seconds=mapping_seconds,
+        hierarchies_accepted=result.hierarchies_accepted,
+    )
+    return run, result

@@ -1,0 +1,152 @@
+"""Programmatic checks of the paper's §7.2 narrative claims.
+
+EXPERIMENTS.md compares paper-vs-measured by hand; this module does the
+same mechanically for any :class:`~repro.experiments.runner.ExperimentResult`,
+so benches and CI can assert "the reproduction still reproduces" after
+any refactor.  Each check returns a :class:`ClaimCheck` rather than
+raising, so a report can show all verdicts at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.runner import ExperimentResult
+
+
+@dataclass(frozen=True)
+class ClaimCheck:
+    """Outcome of one §7.2 claim evaluated on measured data."""
+
+    claim_id: str
+    description: str
+    passed: bool
+    details: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        mark = "PASS" if self.passed else "FAIL"
+        return f"[{mark}] {self.claim_id}: {self.description} -- {self.details}"
+
+
+def _mean_coco_quotients(result: ExperimentResult) -> dict[tuple[str, str], float]:
+    agg = result.aggregate()
+    return {
+        (topo, case): by_case[case]["q_coco"]["mean"]
+        for topo, by_case in agg.items()
+        for case in by_case
+    }
+
+
+def _family_mean(quotients: dict, prefix: str) -> float:
+    vals = [q for (topo, _), q in quotients.items() if topo.startswith(prefix)]
+    return float(np.mean(vals)) if vals else float("nan")
+
+
+def check_coco_improves(result: ExperimentResult) -> ClaimCheck:
+    """§7.2: 'TIMER successfully reduces communication costs'."""
+    quotients = _mean_coco_quotients(result)
+    worst = max(quotients.values()) if quotients else float("nan")
+    mean = float(np.mean(list(quotients.values()))) if quotients else float("nan")
+    return ClaimCheck(
+        "coco-improves",
+        "mean Coco quotient < 1 across cells",
+        bool(quotients) and mean < 1.0,
+        f"mean quotient {mean:.3f}, worst cell {worst:.3f}",
+    )
+
+
+def check_cut_inflates_modestly(result: ExperimentResult) -> ClaimCheck:
+    """§7.2: edge cut worsens by roughly 2-11% on average."""
+    agg = result.aggregate()
+    cuts = [
+        by_case[case]["q_cut"]["mean"]
+        for by_case in agg.values()
+        for case in by_case
+    ]
+    mean = float(np.mean(cuts)) if cuts else float("nan")
+    return ClaimCheck(
+        "cut-inflates-modestly",
+        "mean cut quotient in (1.0, 1.25)",
+        bool(cuts) and 1.0 <= mean < 1.25,
+        f"mean cut quotient {mean:.3f}",
+    )
+
+
+def check_grids_beat_hypercube(result: ExperimentResult) -> ClaimCheck:
+    """§7.2: 'the better the connectivity of Gp, the harder to improve'."""
+    quotients = _mean_coco_quotients(result)
+    grid = _family_mean(quotients, "grid")
+    hq = _family_mean(quotients, "hq")
+    ok = not np.isnan(grid) and not np.isnan(hq) and grid <= hq + 0.03
+    return ClaimCheck(
+        "grids-beat-hypercube",
+        "grid Coco quotients <= hypercube quotients (+3% slack)",
+        ok,
+        f"grid mean {grid:.3f}, hq mean {hq:.3f}",
+    )
+
+
+def check_c1_most_improvable(result: ExperimentResult) -> ClaimCheck:
+    """§7.2: the generic DRB mapping leaves the most room for TIMER."""
+    quotients = _mean_coco_quotients(result)
+    by_case: dict[str, list[float]] = {}
+    for (_, case), q in quotients.items():
+        by_case.setdefault(case, []).append(q)
+    means = {case: float(np.mean(v)) for case, v in by_case.items()}
+    if "c1" not in means or len(means) < 2:
+        return ClaimCheck(
+            "c1-most-improvable", "needs cases c1 + construction cases",
+            False, f"cases present: {sorted(means)}",
+        )
+    construction = [means[c] for c in ("c3", "c4") if c in means]
+    ok = bool(construction) and means["c1"] <= min(construction) + 0.02
+    return ClaimCheck(
+        "c1-most-improvable",
+        "c1 improves at least as much as greedy-construction cases",
+        ok,
+        ", ".join(f"{c}={m:.3f}" for c, m in sorted(means.items())),
+    )
+
+
+def check_time_ordering(result: ExperimentResult) -> ClaimCheck:
+    """Table 2 commentary: mapping baselines are far cheaper than
+    partitioning, so qT(c1) >> qT(c2..c4)."""
+    agg = result.aggregate()
+    ratios = []
+    for by_case in agg.values():
+        if "c1" in by_case and "c2" in by_case:
+            ratios.append(
+                by_case["c1"]["q_time"]["mean"] / by_case["c2"]["q_time"]["mean"]
+            )
+    ok = bool(ratios) and min(ratios) > 1.5
+    return ClaimCheck(
+        "time-ordering",
+        "qT(c1) exceeds qT(c2) by >1.5x on every topology",
+        ok,
+        f"min ratio {min(ratios):.2f}" if ratios else "no c1/c2 cells",
+    )
+
+
+ALL_CHECKS = (
+    check_coco_improves,
+    check_cut_inflates_modestly,
+    check_grids_beat_hypercube,
+    check_c1_most_improvable,
+    check_time_ordering,
+)
+
+
+def validate_paper_claims(result: ExperimentResult) -> list[ClaimCheck]:
+    """Run every §7.2 claim check against a sweep result."""
+    return [check(result) for check in ALL_CHECKS]
+
+
+def render_claims(checks: list[ClaimCheck]) -> str:
+    """Human-readable verdict block."""
+    lines = ["Paper-claim validation (section 7.2):"]
+    for c in checks:
+        mark = "PASS" if c.passed else "FAIL"
+        lines.append(f"  [{mark}] {c.claim_id:<24} {c.details}")
+    return "\n".join(lines) + "\n"

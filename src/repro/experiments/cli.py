@@ -1,0 +1,96 @@
+"""Command line interface: ``python -m repro.experiments <artifact>``.
+
+Artifacts: ``table1``, ``table2``, ``table3``, ``fig5`` (all four cases),
+``all`` (everything + summary), ``csv`` (raw runs).  Sizing knobs map to
+:class:`~repro.experiments.runner.ExperimentConfig`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.instances import instance_names
+from repro.experiments.reporting import (
+    render_fig5,
+    render_summary,
+    render_table1,
+    render_table2,
+    render_table3,
+    to_csv,
+)
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.experiments.topologies import PAPER_TOPOLOGIES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    p.add_argument(
+        "artifact",
+        choices=["table1", "table2", "table3", "fig5", "all", "csv"],
+        help="which paper artifact to regenerate",
+    )
+    p.add_argument("--instances", nargs="*", default=None,
+                   help=f"instance subset (default: all 15); known: {', '.join(instance_names())}")
+    p.add_argument("--topologies", nargs="*", default=list(PAPER_TOPOLOGIES))
+    p.add_argument("--cases", nargs="*", default=["c1", "c2", "c3", "c4"])
+    p.add_argument("--reps", type=int, default=3, help="repetitions per cell (paper: 5)")
+    p.add_argument("--nh", type=int, default=8, help="TIMER hierarchies (paper: 50)")
+    p.add_argument("--divisor", type=int, default=64,
+                   help="instance size divisor vs the paper (default 64)")
+    p.add_argument("--n-max", type=int, default=4096)
+    p.add_argument("--seed", type=int, default=2018)
+    p.add_argument("--verbose", action="store_true")
+    p.add_argument("--out", type=str, default=None, help="write to file instead of stdout")
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    chunks: list[str] = []
+    if args.artifact == "table1":
+        chunks.append(render_table1(divisor=args.divisor, seed=args.seed))
+    else:
+        config = ExperimentConfig(
+            instances=tuple(args.instances) if args.instances else (),
+            topologies=tuple(args.topologies),
+            cases=tuple(args.cases),
+            repetitions=args.reps,
+            n_hierarchies=args.nh,
+            divisor=args.divisor,
+            n_max=args.n_max,
+            seed=args.seed,
+            verbose=args.verbose,
+        )
+        result = run_experiment(config)
+        if args.artifact in ("table2", "all"):
+            chunks.append(render_table2(result))
+        if args.artifact in ("table3", "all"):
+            chunks.append(render_table3(result))
+        if args.artifact in ("fig5", "all"):
+            from repro.experiments.ascii_chart import render_fig5_chart
+
+            for case in config.cases:
+                chunks.append(render_fig5(result, case))
+                chunks.append(render_fig5_chart(result, case))
+        if args.artifact == "all":
+            chunks.append(render_summary(result))
+            from repro.experiments.claims import render_claims, validate_paper_claims
+
+            chunks.append(render_claims(validate_paper_claims(result)))
+        if args.artifact == "csv":
+            chunks.append(to_csv(result))
+    text = "\n".join(chunks)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            f.write(text)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

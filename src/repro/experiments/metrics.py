@@ -1,0 +1,114 @@
+"""The paper's evaluation statistics (§7.1, "Metrics and parameters").
+
+Per (instance, topology, case) cell the paper runs 5 repetitions and
+forms min/mean/max of running time ``T``, edge cut and Coco; each is
+divided by the corresponding statistic *before* TIMER (for times: by the
+partitioning or mapping time), giving 9 quotients.  Geometric means of the
+quotients over the 15 application graphs -- plus geometric standard
+deviations -- are what Table 2 and Figure 5 plot.
+
+This module implements exactly that aggregation, decoupled from the
+runner so it can be unit-tested on synthetic numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MinMeanMax:
+    """min/mean/max of a sample (the paper's per-cell statistics)."""
+
+    min: float
+    mean: float
+    max: float
+
+    @staticmethod
+    def of(values: Sequence[float]) -> "MinMeanMax":
+        arr = np.asarray(list(values), dtype=np.float64)
+        if arr.size == 0:
+            raise ValueError("cannot summarize an empty sample")
+        return MinMeanMax(float(arr.min()), float(arr.mean()), float(arr.max()))
+
+    def divided_by(self, other: "MinMeanMax") -> "MinMeanMax":
+        """Elementwise quotient (after / before)."""
+        def q(a: float, b: float) -> float:
+            return a / b if b != 0 else float("inf")
+
+        return MinMeanMax(q(self.min, other.min), q(self.mean, other.mean), q(self.max, other.max))
+
+
+@dataclass(frozen=True)
+class QuotientSummary:
+    """The 9 quotients of one cell: qT, qCut, qCo (each min/mean/max)."""
+
+    q_time: MinMeanMax
+    q_cut: MinMeanMax
+    q_coco: MinMeanMax
+
+
+def summarize_cell(
+    times: Sequence[float],
+    baseline_times: Sequence[float],
+    cuts_before: Sequence[float],
+    cuts_after: Sequence[float],
+    cocos_before: Sequence[float],
+    cocos_after: Sequence[float],
+) -> QuotientSummary:
+    """Quotients for one (instance, topology, case) cell.
+
+    Follows the paper: each of TIMER's min/mean/max is divided by the
+    min/mean/max of the *pre-TIMER* quantity (for time: the baseline
+    algorithm's time).
+    """
+    return QuotientSummary(
+        q_time=MinMeanMax.of(times).divided_by(MinMeanMax.of(baseline_times)),
+        q_cut=MinMeanMax.of(cuts_after).divided_by(MinMeanMax.of(cuts_before)),
+        q_coco=MinMeanMax.of(cocos_after).divided_by(MinMeanMax.of(cocos_before)),
+    )
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean; raises on non-positive entries (quotients are > 0)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("geometric mean of an empty sample")
+    if (arr <= 0).any():
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.log(arr).mean()))
+
+
+def geometric_std(values: Iterable[float]) -> float:
+    """Geometric standard deviation (paper's variance indicator)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("geometric std of an empty sample")
+    if (arr <= 0).any():
+        raise ValueError("geometric std requires positive values")
+    logs = np.log(arr)
+    return float(np.exp(logs.std(ddof=0)))
+
+
+def aggregate_over_instances(
+    summaries: Sequence[QuotientSummary],
+) -> dict[str, dict[str, float]]:
+    """Geometric mean + std of each quotient over the instance axis.
+
+    Returns ``{"q_time": {"min": .., "mean": .., "max": .., "min_gstd":
+    .., ...}, "q_cut": ..., "q_coco": ...}`` -- the numbers behind one
+    topology row of Table 2 / one group of bars in Figure 5.
+    """
+    out: dict[str, dict[str, float]] = {}
+    for attr in ("q_time", "q_cut", "q_coco"):
+        cells = [getattr(s, attr) for s in summaries]
+        entry: dict[str, float] = {}
+        for stat in ("min", "mean", "max"):
+            vals = [getattr(c, stat) for c in cells]
+            entry[stat] = geometric_mean(vals)
+            entry[f"{stat}_gstd"] = geometric_std(vals)
+        out[attr] = entry
+    return out

@@ -1,0 +1,179 @@
+"""Text/CSV rendering of the paper's tables and figures.
+
+Every public function returns a string (tables as fixed-width text,
+figures as labeled data series) so benches, the CLI and EXPERIMENTS.md
+share one formatting path.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+
+from repro.experiments.cases import CASES
+from repro.experiments.instances import INSTANCES, generate_instance
+from repro.experiments.metrics import geometric_mean
+from repro.experiments.runner import ExperimentResult
+
+
+def render_table1(divisor: int = 64, seed: int = 2018, generated: bool = True) -> str:
+    """Table 1: the complex-network suite (paper sizes and our stand-ins)."""
+    buf = io.StringIO()
+    buf.write("Table 1: complex networks used for benchmarking\n")
+    buf.write(
+        f"{'Name':<24}{'paper #V':>10}{'paper #E':>11}"
+        + (f"{'ours #V':>9}{'ours #E':>9}" if generated else "")
+        + "  Type\n"
+    )
+    for spec in INSTANCES:
+        row = f"{spec.name:<24}{spec.paper_n:>10,}{spec.paper_m:>11,}"
+        if generated:
+            g = generate_instance(spec.name, seed=seed, divisor=divisor)
+            row += f"{g.n:>9,}{g.m:>9,}"
+        row += f"  {spec.kind}"
+        buf.write(row + "\n")
+    return buf.getvalue()
+
+
+def render_table2(result: ExperimentResult) -> str:
+    """Table 2: running-time quotients qT (geometric min/mean/max)."""
+    agg = result.aggregate()
+    buf = io.StringIO()
+    buf.write(
+        "Table 2: TIMER running time relative to SCOTCH mapping (c1) or "
+        "partitioning (c2-c4)\n"
+    )
+    cases = result.config.cases
+    header = f"{'topology':<14}"
+    for case in cases:
+        header += f"{case + ' qTmin':>12}{case + ' qTmean':>12}{case + ' qTmax':>12}"
+    buf.write(header + "\n")
+    for topo in result.config.topologies:
+        row = f"{topo:<14}"
+        for case in cases:
+            q = agg.get(topo, {}).get(case)
+            if q is None:
+                row += " " * 36
+            else:
+                t = q["q_time"]
+                row += f"{t['min']:>12.4f}{t['mean']:>12.4f}{t['max']:>12.4f}"
+        buf.write(row + "\n")
+    return buf.getvalue()
+
+
+def render_table3(result: ExperimentResult) -> str:
+    """Table 3: partitioning times per instance for each PE count."""
+    ks = sorted({k for (_, k) in result.partition_times})
+    buf = io.StringIO()
+    buf.write("Table 3: partitioner running times in seconds (mean over reps)\n")
+    buf.write(f"{'Name':<24}" + "".join(f"{'k=' + str(k):>12}" for k in ks) + "\n")
+    means: dict[int, list[float]] = {k: [] for k in ks}
+    for spec in INSTANCES:
+        times_row = []
+        for k in ks:
+            samples = result.partition_times.get((spec.name, k))
+            if samples:
+                t = float(np.mean(samples))
+                times_row.append(t)
+                means[k].append(t)
+            else:
+                times_row.append(float("nan"))
+        if all(np.isnan(t) for t in times_row):
+            continue
+        buf.write(
+            f"{spec.name:<24}"
+            + "".join(f"{t:>12.3f}" for t in times_row)
+            + "\n"
+        )
+    if any(means[k] for k in ks):
+        buf.write(
+            f"{'Arithmetic mean':<24}"
+            + "".join(f"{np.mean(means[k]):>12.3f}" if means[k] else " " * 12 for k in ks)
+            + "\n"
+        )
+        buf.write(
+            f"{'Geometric mean':<24}"
+            + "".join(
+                f"{geometric_mean(means[k]):>12.3f}" if means[k] else " " * 12
+                for k in ks
+            )
+            + "\n"
+        )
+    return buf.getvalue()
+
+
+def render_fig5(result: ExperimentResult, case: str) -> str:
+    """Figure 5 panel for ``case``: relative Cut and Coco per topology.
+
+    Emits the six series of the paper's plot (minCut, Cut, maxCut, minCo,
+    Co, maxCo) as aligned columns; values < 1 mean TIMER improved the
+    metric.
+    """
+    agg = result.aggregate()
+    buf = io.StringIO()
+    buf.write(
+        f"Figure 5 ({case} = {CASES.get(case, '?')}): quality quotients after "
+        "TIMER (geometric means over instances; < 1 is better)\n"
+    )
+    buf.write(
+        f"{'topology':<14}{'minCut':>9}{'Cut':>9}{'maxCut':>9}"
+        f"{'minCo':>9}{'Co':>9}{'maxCo':>9}\n"
+    )
+    for topo in result.config.topologies:
+        q = agg.get(topo, {}).get(case)
+        if q is None:
+            continue
+        cut, co = q["q_cut"], q["q_coco"]
+        buf.write(
+            f"{topo:<14}{cut['min']:>9.3f}{cut['mean']:>9.3f}{cut['max']:>9.3f}"
+            f"{co['min']:>9.3f}{co['mean']:>9.3f}{co['max']:>9.3f}\n"
+        )
+    return buf.getvalue()
+
+
+def render_summary(result: ExperimentResult) -> str:
+    """Headline numbers matching §7.2's narrative claims."""
+    agg = result.aggregate()
+    buf = io.StringIO()
+    co_by_family: dict[str, list[float]] = {"grid": [], "torus": [], "hq": []}
+    all_co: list[float] = []
+    all_cut: list[float] = []
+    for topo, by_case in agg.items():
+        for case, q in by_case.items():
+            co = q["q_coco"]["mean"]
+            all_co.append(co)
+            all_cut.append(q["q_cut"]["mean"])
+            for fam in co_by_family:
+                if topo.startswith(fam):
+                    co_by_family[fam].append(co)
+    if all_co:
+        buf.write(
+            f"Coco reduction, mean quotients: best {1 - min(all_co):.1%}, "
+            f"worst {1 - max(all_co):.1%}\n"
+        )
+        buf.write(f"Edge-cut change (mean quotient - 1): {np.mean(all_cut) - 1:+.1%}\n")
+        for fam, vals in co_by_family.items():
+            if vals:
+                buf.write(
+                    f"{fam}: average Coco improvement {1 - float(np.mean(vals)):.1%}\n"
+                )
+    return buf.getvalue()
+
+
+def to_csv(result: ExperimentResult) -> str:
+    """Raw per-run measurements as CSV (one row per repetition)."""
+    buf = io.StringIO()
+    buf.write(
+        "instance,topology,case,seed,coco_before,coco_after,cut_before,"
+        "cut_after,timer_seconds,baseline_seconds,q_coco,q_cut,q_time\n"
+    )
+    for cell in result.cells:
+        for r in cell.runs:
+            buf.write(
+                f"{r.instance},{r.topology},{r.case},{r.seed},"
+                f"{r.coco_before},{r.coco_after},{r.cut_before},{r.cut_after},"
+                f"{r.timer_seconds:.4f},{r.baseline_seconds:.4f},"
+                f"{r.coco_quotient:.5f},{r.cut_quotient:.5f},{r.time_quotient:.4f}\n"
+            )
+    return buf.getvalue()

@@ -1,0 +1,174 @@
+"""Factorial experiment driver.
+
+Runs (instances x topologies x cases x repetitions), sharing partitions
+across cases and topologies with equal PE counts -- exactly as the paper
+shares one KaHIP partition per (instance, |V_p|) across the mapping
+baselines.  Results come back both raw (:class:`CellResult` per cell) and
+aggregated (Table 2 / Figure 5 structures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import TimerConfig
+from repro.experiments.cases import CASES, CaseRun, run_case
+from repro.experiments.instances import generate_instance, instance_names
+from repro.experiments.metrics import (
+    QuotientSummary,
+    aggregate_over_instances,
+    summarize_cell,
+)
+from repro.experiments.topologies import PAPER_TOPOLOGIES, make_topology
+from repro.graphs.graph import Graph
+from repro.partitioning.kway import partition_kway
+from repro.partitioning.partition import Partition
+from repro.utils.rng import spawn_rngs
+from repro.utils.stopwatch import Stopwatch
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Shape and budget of an experiment sweep.
+
+    Defaults are sized for a laptop-scale regeneration; the paper's exact
+    shape is ``instances=all 15, repetitions=5, n_hierarchies=50,
+    divisor=1`` (full-size graphs), which pure Python cannot afford --
+    DESIGN.md records the scaling as a substitution.
+    """
+
+    instances: tuple[str, ...] = ()
+    topologies: tuple[str, ...] = PAPER_TOPOLOGIES
+    cases: tuple[str, ...] = ("c1", "c2", "c3", "c4")
+    repetitions: int = 3
+    n_hierarchies: int = 8
+    epsilon: float = 0.03
+    divisor: int = 64
+    n_min: int = 384
+    n_max: int = 4096
+    seed: int = 2018  # the paper's year; any fixed value works
+    verbose: bool = False
+
+    def resolved_instances(self) -> tuple[str, ...]:
+        return self.instances if self.instances else instance_names()
+
+
+@dataclass
+class CellResult:
+    """All repetitions of one (instance, topology, case) cell."""
+
+    instance: str
+    topology: str
+    case: str
+    runs: list = field(default_factory=list)
+
+    def summary(self) -> QuotientSummary:
+        runs: list[CaseRun] = self.runs
+        return summarize_cell(
+            times=[r.timer_seconds for r in runs],
+            baseline_times=[r.baseline_seconds for r in runs],
+            cuts_before=[r.cut_before for r in runs],
+            cuts_after=[r.cut_after for r in runs],
+            cocos_before=[r.coco_before for r in runs],
+            cocos_after=[r.coco_after for r in runs],
+        )
+
+
+@dataclass
+class ExperimentResult:
+    """Everything a reporting routine needs."""
+
+    config: ExperimentConfig
+    cells: list = field(default_factory=list)
+    partition_times: dict = field(default_factory=dict)  # (instance, k) -> [s]
+    instance_stats: dict = field(default_factory=dict)  # name -> (n, m)
+
+    def aggregate(self) -> dict:
+        """``{topology: {case: {q_time/q_cut/q_coco: {...}}}}``."""
+        out: dict[str, dict[str, dict]] = {}
+        for topo in self.config.topologies:
+            out[topo] = {}
+            for case in self.config.cases:
+                summaries = [
+                    c.summary()
+                    for c in self.cells
+                    if c.topology == topo and c.case == case
+                ]
+                if summaries:
+                    out[topo][case] = aggregate_over_instances(summaries)
+        return out
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Execute the sweep described by ``config``."""
+    result = ExperimentResult(config=config)
+    instances = config.resolved_instances()
+    # Independent RNG per (instance, repetition); topology/case reuse the
+    # same partition within a repetition, like the paper.
+    streams = spawn_rngs(config.seed, len(instances) * config.repetitions)
+    timer_cfg = TimerConfig(n_hierarchies=config.n_hierarchies)
+
+    topo_objs = {name: make_topology(name) for name in config.topologies}
+    pe_counts = sorted({gp.n for gp, _ in topo_objs.values()})
+
+    for inst_idx, inst_name in enumerate(instances):
+        for rep in range(config.repetitions):
+            rng = streams[inst_idx * config.repetitions + rep]
+            inst_seed = int(rng.integers(0, 2**31 - 1))
+            ga = generate_instance(
+                inst_name,
+                seed=inst_seed,
+                divisor=config.divisor,
+                n_min=config.n_min,
+                n_max=config.n_max,
+            )
+            result.instance_stats[inst_name] = (ga.n, ga.m)
+            # One partition per PE count, shared by all topologies/cases.
+            partitions: dict[int, tuple[Partition, float]] = {}
+            for k in pe_counts:
+                sw = Stopwatch()
+                with sw:
+                    part = partition_kway(ga, k, epsilon=config.epsilon, seed=rng)
+                partitions[k] = (part, sw.elapsed)
+                result.partition_times.setdefault((inst_name, k), []).append(sw.elapsed)
+            for topo_name in config.topologies:
+                gp, pc = topo_objs[topo_name]
+                part, part_secs = partitions[gp.n]
+                for case in config.cases:
+                    run, _ = run_case(
+                        case,
+                        ga,
+                        gp,
+                        pc,
+                        part,
+                        part_secs,
+                        topo_name,
+                        seed=int(rng.integers(0, 2**31 - 1)),
+                        timer_config=timer_cfg,
+                    )
+                    _record(result, inst_name, topo_name, case, run)
+                    if config.verbose:
+                        print(
+                            f"[{inst_name} rep{rep} {topo_name} {case}] "
+                            f"qCo={run.coco_quotient:.3f} qCut={run.cut_quotient:.3f} "
+                            f"qT={run.time_quotient:.2f}"
+                        )
+    return result
+
+
+def _record(
+    result: ExperimentResult, instance: str, topology: str, case: str, run: CaseRun
+) -> None:
+    for cell in result.cells:
+        if (
+            cell.instance == instance
+            and cell.topology == topology
+            and cell.case == case
+        ):
+            cell.runs.append(run)
+            return
+    result.cells.append(
+        CellResult(instance=instance, topology=topology, case=case, runs=[run])
+    )

@@ -1,0 +1,73 @@
+"""The paper's processor topologies (§7.1) and their labelings.
+
+The five production topologies all have 256 or 512 PEs; recognition plus
+labeling costs a few hundred milliseconds each, so labelings are cached
+per process.  ``*_small`` variants keep unit and integration tests fast.
+
+Note on convex-cut counts: the paper states the topologies have
+30/21/32/24/8 convex cuts respectively.  Grid and hypercube counts match
+our Djokovic computation; for the tori the *isometric* dimension is 16
+(16x16) and 12 (8x8x8) because antipodal meridian edge classes coincide
+(each even cycle ``C_{2k}`` contributes ``k`` classes, not ``2k``).  Our
+labels pass the exhaustive Hamming-equals-distance check, so the smaller
+dimensions are the correct partial-cube labelings; the paper evidently
+counted both meridians of each class.  EXPERIMENTS.md discusses the
+(minor) consequences for the runtime-quotient narrative.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+from repro.partialcube.djokovic import PartialCubeLabeling, partial_cube_labeling
+
+#: The five topologies of the paper's evaluation, in Table 2 order.
+PAPER_TOPOLOGIES: tuple[str, ...] = (
+    "grid16x16",
+    "grid8x8x8",
+    "torus16x16",
+    "torus8x8x8",
+    "hq8",
+)
+
+_BUILDERS: dict[str, Callable[[], Graph]] = {
+    # paper set
+    "grid16x16": lambda: gen.grid(16, 16),
+    "grid8x8x8": lambda: gen.grid(8, 8, 8),
+    "torus16x16": lambda: gen.torus(16, 16),
+    "torus8x8x8": lambda: gen.torus(8, 8, 8),
+    "hq8": lambda: gen.hypercube(8),
+    # small variants for tests, docs and quick examples
+    "grid4x4": lambda: gen.grid(4, 4),
+    "grid8x8": lambda: gen.grid(8, 8),
+    "grid4x4x4": lambda: gen.grid(4, 4, 4),
+    "torus4x4": lambda: gen.torus(4, 4),
+    "torus8x8": lambda: gen.torus(8, 8),
+    "torus4x4x4": lambda: gen.torus(4, 4, 4),
+    "hq4": lambda: gen.hypercube(4),
+    "hq6": lambda: gen.hypercube(6),
+    "path16": lambda: gen.path(16),
+    "cbt4": lambda: gen.complete_binary_tree(4),
+}
+
+
+def topology_names(paper_only: bool = False) -> tuple[str, ...]:
+    """Known topology names (the paper's five, or all registered)."""
+    if paper_only:
+        return PAPER_TOPOLOGIES
+    return tuple(sorted(_BUILDERS))
+
+
+@lru_cache(maxsize=None)
+def make_topology(name: str) -> tuple[Graph, PartialCubeLabeling]:
+    """Build topology ``name`` and its partial-cube labeling (cached)."""
+    if name not in _BUILDERS:
+        raise ConfigurationError(
+            f"unknown topology {name!r}; known: {', '.join(sorted(_BUILDERS))}"
+        )
+    g = _BUILDERS[name]()
+    return g, partial_cube_labeling(g)

@@ -1,0 +1,22 @@
+"""Graph substrate: a static CSR graph type, algorithms, I/O and generators.
+
+Every graph in the library -- application graphs ``G_a``, processor graphs
+``G_p``, communication graphs ``G_c`` and all hierarchy levels inside TIMER
+-- is an instance of :class:`repro.graphs.Graph`: an immutable, undirected,
+edge-weighted graph in compressed-sparse-row form backed by numpy arrays.
+"""
+
+from repro.graphs.graph import Graph
+from repro.graphs.builder import GraphBuilder, from_edges, from_networkx, to_networkx
+from repro.graphs import algorithms, generators, io
+
+__all__ = [
+    "Graph",
+    "GraphBuilder",
+    "from_edges",
+    "from_networkx",
+    "to_networkx",
+    "algorithms",
+    "generators",
+    "io",
+]

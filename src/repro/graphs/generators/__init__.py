@@ -1,0 +1,47 @@
+"""Graph generators.
+
+Two families:
+
+- **Processor topologies** (deterministic partial cubes): :func:`grid`,
+  :func:`torus`, :func:`hypercube`, :func:`random_tree`, :func:`path`,
+  :func:`star`, :func:`complete_binary_tree`.
+- **Application workloads** (randomized complex-network models standing in
+  for the paper's SNAP/DIMACS instances): :func:`erdos_renyi`,
+  :func:`barabasi_albert`, :func:`watts_strogatz`, :func:`powerlaw_cluster`,
+  :func:`rmat`, :func:`configuration_model`.
+"""
+
+from repro.graphs.generators.meshes import grid, torus, cycle, path
+from repro.graphs.generators.hypercube import hypercube
+from repro.graphs.generators.trees import (
+    random_tree,
+    complete_binary_tree,
+    star,
+    caterpillar,
+)
+from repro.graphs.generators.random_graphs import (
+    erdos_renyi,
+    barabasi_albert,
+    watts_strogatz,
+    powerlaw_cluster,
+    configuration_model,
+)
+from repro.graphs.generators.rmat import rmat
+
+__all__ = [
+    "grid",
+    "torus",
+    "cycle",
+    "path",
+    "hypercube",
+    "random_tree",
+    "complete_binary_tree",
+    "star",
+    "caterpillar",
+    "erdos_renyi",
+    "barabasi_albert",
+    "watts_strogatz",
+    "powerlaw_cluster",
+    "configuration_model",
+    "rmat",
+]

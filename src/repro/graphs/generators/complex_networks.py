@@ -1,0 +1,31 @@
+"""Convenience access to the Table-1 synthetic network suite.
+
+Thin re-export so library users can write
+``from repro.graphs.generators.complex_networks import generate, names``
+without importing the experiment harness explicitly.  The definitions
+live in :mod:`repro.experiments.instances` (kept there because the suite
+is experiment metadata first).
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import Graph
+from repro.utils.rng import SeedLike
+
+
+def names() -> tuple[str, ...]:
+    """The 15 instance names of the paper's Table 1."""
+    from repro.experiments.instances import instance_names
+
+    return instance_names()
+
+
+def generate(name: str, seed: SeedLike = None, divisor: int = 64, **kwargs) -> Graph:
+    """Generate the synthetic stand-in for Table-1 row ``name``.
+
+    See :func:`repro.experiments.instances.generate_instance` for the
+    scaling parameters.
+    """
+    from repro.experiments.instances import generate_instance
+
+    return generate_instance(name, seed=seed, divisor=divisor, **kwargs)

@@ -1,0 +1,37 @@
+"""Hypercube generator (paper Definition 2.1).
+
+The ``d``-dimensional hypercube has vertex set ``{0,1}^d`` and connects
+vertices at Hamming distance one; it is trivially a partial cube of
+dimension ``d`` with the identity labeling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.builder import from_arrays
+from repro.graphs.graph import Graph
+
+
+def hypercube(dim: int, name: str | None = None) -> Graph:
+    """The ``dim``-dimensional hypercube ``H`` on ``2**dim`` vertices.
+
+    Vertex ids are the label bitvectors read as integers, so
+    ``repro.partialcube`` recognition must recover a labeling equivalent
+    to ``id`` up to bit permutation/complement.
+    """
+    if dim < 0:
+        raise ValueError(f"hypercube dimension must be >= 0, got {dim}")
+    if dim > 20:
+        raise ValueError(f"hypercube dimension {dim} unreasonably large")
+    n = 1 << dim
+    ids = np.arange(n, dtype=np.int64)
+    us, vs = [], []
+    for b in range(dim):
+        us.append(ids)
+        vs.append(ids ^ (1 << b))
+    if dim == 0:
+        return from_arrays(1, np.empty(0, np.int64), np.empty(0, np.int64), name=name or "hq0")
+    return from_arrays(
+        n, np.concatenate(us), np.concatenate(vs), name=name or f"hq{dim}"
+    )

@@ -1,0 +1,90 @@
+"""Rectangular meshes (grids) and tori of arbitrary dimension.
+
+These are the paper's main processor topologies.  All rectangular grids
+are partial cubes; a torus is a partial cube iff every extension is even
+(paper section 1), which :func:`torus` checks only lazily -- generation
+always succeeds, recognition in :mod:`repro.partialcube` decides cube-ness.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.graphs.builder import from_arrays
+from repro.graphs.graph import Graph
+
+
+def _lattice_edges(dims: Sequence[int], wrap: bool) -> tuple[np.ndarray, np.ndarray]:
+    """COO edges of a ``prod(dims)``-vertex lattice, optionally wrapped."""
+    dims = tuple(int(d) for d in dims)
+    if any(d < 1 for d in dims):
+        raise ValueError(f"all dimensions must be >= 1, got {dims}")
+    n = int(np.prod(dims))
+    coords = np.indices(dims).reshape(len(dims), n)  # axis-major coordinates
+    strides = np.ones(len(dims), dtype=np.int64)
+    for axis in range(len(dims) - 2, -1, -1):
+        strides[axis] = strides[axis + 1] * dims[axis + 1]
+    ids = (coords * strides[:, None]).sum(axis=0)
+    us_all, vs_all = [], []
+    for axis, extent in enumerate(dims):
+        if extent == 1:
+            continue
+        c = coords[axis]
+        if wrap and extent > 2:
+            keep = np.ones(n, dtype=bool)  # every vertex has a +1 neighbor mod extent
+        else:
+            keep = c < extent - 1
+        shifted = coords.copy()
+        shifted[axis] = (c + 1) % extent
+        nbr_ids = (shifted * strides[:, None]).sum(axis=0)
+        us_all.append(ids[keep])
+        vs_all.append(nbr_ids[keep])
+    if not us_all:
+        return np.empty(0, np.int64), np.empty(0, np.int64)
+    return np.concatenate(us_all), np.concatenate(vs_all)
+
+
+def grid(*dims: int, name: str | None = None) -> Graph:
+    """Rectangular mesh with the given extents, e.g. ``grid(16, 16)``.
+
+    Vertex ``(x_0, .., x_{d-1})`` has id ``sum(x_i * stride_i)`` with
+    row-major strides; adjacent iff coordinates differ by one in exactly
+    one axis.  Every grid is a partial cube of dimension
+    ``sum(dims_i - 1)``.
+    """
+    us, vs = _lattice_edges(dims, wrap=False)
+    n = int(np.prod(dims))
+    label = name or ("grid" + "x".join(str(d) for d in dims))
+    return from_arrays(n, us, vs, name=label)
+
+
+def torus(*dims: int, name: str | None = None) -> Graph:
+    """Torus with the given extents, e.g. ``torus(8, 8, 8)``.
+
+    Wrap-around neighbors in every axis with extent > 2 (extent-2 axes
+    would create parallel edges, so they fall back to a single edge).
+    A torus is a partial cube iff all extents are even.
+    """
+    us, vs = _lattice_edges(dims, wrap=True)
+    n = int(np.prod(dims))
+    label = name or ("torus" + "x".join(str(d) for d in dims))
+    return from_arrays(n, us, vs, name=label)
+
+
+def cycle(n: int, name: str | None = None) -> Graph:
+    """Cycle on ``n`` vertices (partial cube iff ``n`` is even)."""
+    if n < 3:
+        raise ValueError(f"cycle needs n >= 3, got {n}")
+    us = np.arange(n, dtype=np.int64)
+    vs = (us + 1) % n
+    return from_arrays(n, us, vs, name=name or f"cycle{n}")
+
+
+def path(n: int, name: str | None = None) -> Graph:
+    """Path on ``n`` vertices (a 1-D grid; always a partial cube)."""
+    if n < 1:
+        raise ValueError(f"path needs n >= 1, got {n}")
+    us = np.arange(n - 1, dtype=np.int64)
+    return from_arrays(n, us, us + 1, name=name or f"path{n}")

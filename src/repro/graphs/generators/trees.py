@@ -1,0 +1,92 @@
+"""Tree generators.
+
+All trees are partial cubes (every edge is its own Djokovic class), which
+makes them useful both as processor topologies (fat-tree-like abstractions)
+and as adversarial tests for the labeling code: a tree on ``n`` vertices
+has partial-cube dimension ``n - 1``, the maximum possible.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.graphs.builder import from_arrays
+from repro.graphs.graph import Graph
+from repro.utils.rng import SeedLike, make_rng
+
+
+def _prufer_to_edges(prufer: np.ndarray, n: int) -> list[tuple[int, int]]:
+    """Decode a Pruefer sequence into the edge list of its tree."""
+    degree = np.ones(n, dtype=np.int64)
+    np.add.at(degree, prufer, 1)
+    leaves = [int(v) for v in np.nonzero(degree == 1)[0]]
+    heapq.heapify(leaves)
+    edges = []
+    for v in prufer:
+        v = int(v)
+        leaf = heapq.heappop(leaves)
+        edges.append((leaf, v))
+        degree[v] -= 1
+        if degree[v] == 1:
+            heapq.heappush(leaves, v)
+    u = heapq.heappop(leaves)
+    w = heapq.heappop(leaves)
+    edges.append((u, w))
+    return edges
+
+
+def random_tree(n: int, seed: SeedLike = None, name: str | None = None) -> Graph:
+    """Uniformly random labeled tree via a random Pruefer sequence."""
+    if n < 1:
+        raise ValueError(f"tree needs n >= 1, got {n}")
+    if n == 1:
+        return from_arrays(1, np.empty(0, np.int64), np.empty(0, np.int64), name=name or "tree1")
+    if n == 2:
+        return from_arrays(2, np.asarray([0]), np.asarray([1]), name=name or "tree2")
+    rng = make_rng(seed)
+    prufer = rng.integers(0, n, size=n - 2)
+    edges = _prufer_to_edges(prufer, n)
+    us = np.asarray([e[0] for e in edges], dtype=np.int64)
+    vs = np.asarray([e[1] for e in edges], dtype=np.int64)
+    return from_arrays(n, us, vs, name=name or f"tree{n}")
+
+
+def complete_binary_tree(height: int, name: str | None = None) -> Graph:
+    """Complete binary tree of the given height (root at id 0)."""
+    if height < 0:
+        raise ValueError(f"height must be >= 0, got {height}")
+    n = (1 << (height + 1)) - 1
+    kids = np.arange(1, n, dtype=np.int64)
+    parents = (kids - 1) // 2
+    return from_arrays(n, parents, kids, name=name or f"cbt{height}")
+
+
+def star(n_leaves: int, name: str | None = None) -> Graph:
+    """Star with ``n_leaves`` leaves around center 0."""
+    if n_leaves < 0:
+        raise ValueError(f"n_leaves must be >= 0, got {n_leaves}")
+    leaves = np.arange(1, n_leaves + 1, dtype=np.int64)
+    return from_arrays(
+        n_leaves + 1, np.zeros(n_leaves, np.int64), leaves, name=name or f"star{n_leaves}"
+    )
+
+
+def caterpillar(spine: int, legs_per_vertex: int, name: str | None = None) -> Graph:
+    """Caterpillar tree: a path with ``legs_per_vertex`` leaves per vertex."""
+    if spine < 1 or legs_per_vertex < 0:
+        raise ValueError("need spine >= 1 and legs_per_vertex >= 0")
+    n = spine * (1 + legs_per_vertex)
+    us = list(range(spine - 1))
+    vs = list(range(1, spine))
+    nxt = spine
+    for s in range(spine):
+        for _ in range(legs_per_vertex):
+            us.append(s)
+            vs.append(nxt)
+            nxt += 1
+    return from_arrays(
+        n, np.asarray(us, np.int64), np.asarray(vs, np.int64),
+        name=name or f"caterpillar{spine}x{legs_per_vertex}",
+    )

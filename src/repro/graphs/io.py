@@ -1,0 +1,207 @@
+"""Graph file I/O.
+
+Two formats:
+
+- **METIS / Chaco** (`.graph`): the format KaHIP and the paper's instances
+  use.  1-indexed adjacency lists, header ``n m [fmt]`` where ``fmt`` is
+  ``1`` for edge weights, ``10`` for vertex weights, ``11`` for both.
+- **Edge list** (`.edges`): whitespace-separated ``u v [w]`` lines,
+  0-indexed, ``#`` comments -- the SNAP distribution format of the paper's
+  complex networks.
+"""
+
+from __future__ import annotations
+
+import io as _io
+from pathlib import Path
+from typing import TextIO, Union
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graphs.builder import from_arrays
+from repro.graphs.graph import Graph
+
+PathLike = Union[str, Path]
+
+
+def _open_read(path_or_file: Union[PathLike, TextIO]):
+    if isinstance(path_or_file, (str, Path)):
+        return open(path_or_file, "r", encoding="utf-8"), True
+    return path_or_file, False
+
+
+def _open_write(path_or_file: Union[PathLike, TextIO]):
+    if isinstance(path_or_file, (str, Path)):
+        return open(path_or_file, "w", encoding="utf-8"), True
+    return path_or_file, False
+
+
+# ---------------------------------------------------------------------------
+# METIS format
+# ---------------------------------------------------------------------------
+def write_metis(g: Graph, path_or_file: Union[PathLike, TextIO]) -> None:
+    """Write ``g`` in METIS format, emitting weights only when non-unit."""
+    has_ew = not np.allclose(g.weights, 1.0)
+    has_vw = not np.allclose(g.vertex_weights, 1.0)
+    fmt = f"{int(has_vw)}{int(has_ew)}"
+    f, should_close = _open_write(path_or_file)
+    try:
+        header = f"{g.n} {g.m}"
+        if fmt != "00":
+            header += f" {fmt}"
+        f.write(header + "\n")
+        for v in range(g.n):
+            parts: list[str] = []
+            if has_vw:
+                parts.append(_fmt_weight(g.vertex_weights[v]))
+            nbrs = g.neighbors(v)
+            wts = g.incident_weights(v)
+            for u, w in zip(nbrs, wts):
+                parts.append(str(int(u) + 1))
+                if has_ew:
+                    parts.append(_fmt_weight(w))
+            f.write(" ".join(parts) + "\n")
+    finally:
+        if should_close:
+            f.close()
+
+
+def _fmt_weight(w: float) -> str:
+    return str(int(w)) if float(w).is_integer() else repr(float(w))
+
+
+def read_metis(path_or_file: Union[PathLike, TextIO], name: str = "") -> Graph:
+    """Read a METIS-format graph."""
+    f, should_close = _open_read(path_or_file)
+    try:
+        lines = [ln for ln in (raw.split("%")[0].strip() for raw in f) if ln]
+    finally:
+        if should_close:
+            f.close()
+    if not lines:
+        raise GraphFormatError("empty METIS file")
+    header = lines[0].split()
+    if len(header) < 2:
+        raise GraphFormatError(f"bad METIS header: {lines[0]!r}")
+    n, m = int(header[0]), int(header[1])
+    fmt = header[2] if len(header) > 2 else "0"
+    fmt = fmt.zfill(2)
+    has_vw, has_ew = fmt[-2] == "1", fmt[-1] == "1"
+    if len(lines) - 1 != n:
+        raise GraphFormatError(f"expected {n} vertex lines, found {len(lines) - 1}")
+    us: list[int] = []
+    vs: list[int] = []
+    ws: list[float] = []
+    vweights = np.ones(n, dtype=np.float64)
+    for v, line in enumerate(lines[1:]):
+        tokens = line.split()
+        pos = 0
+        if has_vw:
+            if not tokens:
+                raise GraphFormatError(f"vertex {v}: missing vertex weight")
+            vweights[v] = float(tokens[0])
+            pos = 1
+        while pos < len(tokens):
+            u = int(tokens[pos]) - 1
+            pos += 1
+            w = 1.0
+            if has_ew:
+                if pos >= len(tokens):
+                    raise GraphFormatError(f"vertex {v}: dangling edge weight")
+                w = float(tokens[pos])
+                pos += 1
+            if not (0 <= u < n):
+                raise GraphFormatError(f"vertex {v}: neighbor {u + 1} out of range")
+            if u > v:  # each edge appears twice; keep one direction
+                us.append(v)
+                vs.append(u)
+                ws.append(w)
+    g = from_arrays(
+        n,
+        np.asarray(us, np.int64),
+        np.asarray(vs, np.int64),
+        np.asarray(ws, np.float64),
+        vertex_weights=vweights,
+        name=name,
+    )
+    if g.m != m:
+        raise GraphFormatError(f"header claims {m} edges, parsed {g.m}")
+    return g
+
+
+# ---------------------------------------------------------------------------
+# Edge-list format
+# ---------------------------------------------------------------------------
+def write_edgelist(g: Graph, path_or_file: Union[PathLike, TextIO]) -> None:
+    """Write ``u v w`` lines (0-indexed, one per undirected edge)."""
+    f, should_close = _open_write(path_or_file)
+    try:
+        f.write(f"# n={g.n} m={g.m}\n")
+        for u, v, w in g.edges():
+            f.write(f"{u} {v} {_fmt_weight(w)}\n")
+    finally:
+        if should_close:
+            f.close()
+
+
+def read_edgelist(
+    path_or_file: Union[PathLike, TextIO], n: int | None = None, name: str = ""
+) -> Graph:
+    """Read a SNAP-style edge list.
+
+    Vertex count defaults to ``max id + 1``; an explicit ``n`` allows
+    isolated trailing vertices.  A ``# n=...`` comment (as written by
+    :func:`write_edgelist`) is honored when ``n`` is not given.
+    """
+    f, should_close = _open_read(path_or_file)
+    us: list[int] = []
+    vs: list[int] = []
+    ws: list[float] = []
+    header_n = None
+    try:
+        for raw in f:
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                if "n=" in line and header_n is None:
+                    try:
+                        header_n = int(line.split("n=")[1].split()[0])
+                    except (ValueError, IndexError):
+                        pass
+                continue
+            tokens = line.split()
+            if len(tokens) < 2:
+                raise GraphFormatError(f"bad edge line: {line!r}")
+            u, v = int(tokens[0]), int(tokens[1])
+            w = float(tokens[2]) if len(tokens) > 2 else 1.0
+            if u != v:
+                us.append(u)
+                vs.append(v)
+                ws.append(w)
+    finally:
+        if should_close:
+            f.close()
+    if n is None:
+        n = header_n
+    if n is None:
+        n = (max(max(us), max(vs)) + 1) if us else 0
+    return from_arrays(
+        n,
+        np.asarray(us, np.int64),
+        np.asarray(vs, np.int64),
+        np.asarray(ws, np.float64),
+        name=name,
+    )
+
+
+def to_metis_string(g: Graph) -> str:
+    """METIS serialization as a string (handy for tests and debugging)."""
+    buf = _io.StringIO()
+    write_metis(g, buf)
+    return buf.getvalue()
+
+
+def from_metis_string(text: str, name: str = "") -> Graph:
+    return read_metis(_io.StringIO(text), name=name)

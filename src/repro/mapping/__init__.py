@@ -1,0 +1,58 @@
+"""Mappings of application graphs onto processor graphs.
+
+Provides everything the paper uses *around* TIMER:
+
+- :func:`build_communication_graph` -- contract a partition of ``G_a``
+  into the communication graph ``G_c`` (Figure 1b),
+- :func:`coco` and friends -- the Coco / hop-byte objective (Eq. 3) plus
+  auxiliary quality measures (dilation statistics, congestion estimate),
+- initial mapping algorithms: :func:`identity_mapping` (case c2),
+  :func:`greedy_all_c` (case c3), :func:`greedy_min` (case c4 /
+  LibTopoMap's construction method) and :func:`drb_mapping` (case c1,
+  the SCOTCH stand-in),
+- :class:`MappingAlgorithm` registry used by the experiment harness.
+"""
+
+from repro.mapping.commgraph import build_communication_graph
+from repro.mapping.objective import (
+    coco,
+    coco_from_distances,
+    average_dilation,
+    maximum_dilation,
+    congestion_estimate,
+    network_cost_matrix,
+)
+from repro.mapping.identity import identity_mapping
+from repro.mapping.greedy import greedy_all_c, greedy_min
+from repro.mapping.drb import drb_mapping
+from repro.mapping.refine import ncm_swap_refine, swap_gain
+from repro.mapping.report import MappingQualityReport, compare_reports, quality_report
+from repro.mapping.mapper import (
+    MappingAlgorithm,
+    available_algorithms,
+    compute_initial_mapping,
+    vertex_mapping_from_blocks,
+)
+
+__all__ = [
+    "build_communication_graph",
+    "coco",
+    "coco_from_distances",
+    "average_dilation",
+    "maximum_dilation",
+    "congestion_estimate",
+    "network_cost_matrix",
+    "identity_mapping",
+    "greedy_all_c",
+    "greedy_min",
+    "drb_mapping",
+    "ncm_swap_refine",
+    "swap_gain",
+    "MappingQualityReport",
+    "quality_report",
+    "compare_reports",
+    "MappingAlgorithm",
+    "available_algorithms",
+    "compute_initial_mapping",
+    "vertex_mapping_from_blocks",
+]

@@ -1,0 +1,28 @@
+"""Communication graph construction (paper Figure 1).
+
+Contracting each block of a partition of ``G_a`` into a single vertex
+yields ``G_c = (V_c, E_c, omega_c)`` where ``omega_c`` aggregates the
+weight of all ``G_a`` edges running between two blocks.  The decoupled
+mapping pipeline (partition first, then map) operates on ``G_c``.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import Graph
+from repro.partitioning.coarsen import contract_graph
+from repro.partitioning.partition import Partition
+
+
+def build_communication_graph(part: Partition, name: str = "") -> Graph:
+    """Contract ``part.graph`` along ``part.assignment`` into ``G_c``.
+
+    The result has exactly ``part.k`` vertices (empty blocks become
+    isolated vertices) and vertex weights equal to block weights, so
+    downstream mappers can reason about load.
+    """
+    return contract_graph(
+        part.graph,
+        part.assignment,
+        part.k,
+        name=name or (f"{part.graph.name}|comm" if part.graph.name else "comm"),
+    )

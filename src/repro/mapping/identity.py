@@ -1,0 +1,25 @@
+"""The IDENTITY mapping (experimental case c2).
+
+Maps block ``i`` of the communication graph to PE ``i``.  The paper notes
+this "benefits from spatial locality in the partitions, so that IDENTITY
+often yields surprisingly good solutions" -- our recursive-bisection
+partitioner numbers blocks in recursion leaf order, which gives block ids
+exactly that locality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MappingError
+from repro.graphs.graph import Graph
+from repro.partitioning.partition import Partition
+
+
+def identity_mapping(part: Partition, gp: Graph) -> np.ndarray:
+    """Per-vertex mapping ``mu(v) = block(v)`` (requires ``k == |V_p|``)."""
+    if part.k != gp.n:
+        raise MappingError(
+            f"identity mapping needs k == |V_p|, got k={part.k}, |V_p|={gp.n}"
+        )
+    return part.assignment.astype(np.int64).copy()

@@ -1,0 +1,84 @@
+"""One-call quality report for a mapping.
+
+Bundles every quality measure the repo knows about -- the paper's two
+headline metrics (Coco, edge cut) plus the auxiliary dilation/congestion
+measures from the wider mapping literature -- so examples, the harness
+and downstream users don't re-plumb distance matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.mapping.objective import (
+    average_dilation,
+    coco_from_distances,
+    congestion_estimate,
+    maximum_dilation,
+    network_cost_matrix,
+)
+from repro.partitioning.metrics import edge_cut
+from repro.utils.validation import as_int_array
+
+
+@dataclass(frozen=True)
+class MappingQualityReport:
+    """Quality measures of one mapping ``mu : V_a -> V_p``."""
+
+    coco: float
+    cut: float
+    avg_dilation: float
+    max_dilation: int
+    congestion: float
+    n_used_pes: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Coco={self.coco:.1f} cut={self.cut:.1f} "
+            f"dilation(avg/max)={self.avg_dilation:.2f}/{self.max_dilation} "
+            f"congestion={self.congestion:.1f} PEs={self.n_used_pes}"
+        )
+
+
+def quality_report(
+    ga: Graph,
+    gp: Graph,
+    mu: np.ndarray,
+    dist: np.ndarray | None = None,
+    with_congestion: bool = True,
+) -> MappingQualityReport:
+    """Evaluate all mapping-quality measures in one pass.
+
+    ``with_congestion=False`` skips the congestion estimate (it routes
+    every edge along a BFS path, the only super-linear part).
+    """
+    mu = as_int_array("mu", mu, ga.n)
+    if dist is None:
+        dist = network_cost_matrix(gp)
+    us, vs, ws = ga.edge_arrays()
+    hop = dist[mu[us], mu[vs]]
+    total_w = float(ws.sum())
+    live = ws > 0
+    return MappingQualityReport(
+        coco=float((ws * hop).sum()),
+        cut=edge_cut(ga, mu),
+        avg_dilation=float((ws * hop).sum() / total_w) if total_w else 0.0,
+        max_dilation=int(hop[live].max()) if live.any() else 0,
+        congestion=congestion_estimate(ga, gp, mu) if with_congestion else float("nan"),
+        n_used_pes=int(np.unique(mu).shape[0]),
+    )
+
+
+def compare_reports(
+    before: MappingQualityReport, after: MappingQualityReport
+) -> dict[str, float]:
+    """Relative change per metric (negative = improvement)."""
+    out: dict[str, float] = {}
+    for name in ("coco", "cut", "avg_dilation", "congestion"):
+        b = getattr(before, name)
+        a = getattr(after, name)
+        out[name] = (a / b - 1.0) if b else 0.0
+    return out

@@ -1,0 +1,37 @@
+"""Partial cubes: recognition, Hamming labelings, hierarchies (paper §2-3).
+
+A *partial cube* is an isometric subgraph of a hypercube: its vertices can
+be labeled with bitvectors so that graph distance equals Hamming distance.
+This property is what lets TIMER evaluate the communication cost of an edge
+in O(1) from two packed labels.
+
+Public surface:
+
+- :func:`partial_cube_labeling` -- compute the labeling or raise
+  :class:`~repro.errors.NotPartialCubeError` (paper §3 algorithm).
+- :func:`is_partial_cube` -- boolean convenience wrapper.
+- :class:`PartialCubeLabeling` -- labels + dimension + provenance.
+- :func:`verify_labeling` -- exhaustive distance <-> Hamming check.
+- :class:`LabelHierarchy` / :func:`hierarchy_from_permutation` -- the
+  permutation-induced hierarchies of §2 (Figure 2).
+"""
+
+from repro.partialcube.djokovic import (
+    PartialCubeLabeling,
+    partial_cube_labeling,
+    is_partial_cube,
+    djokovic_classes,
+)
+from repro.partialcube.verify import verify_labeling, labeling_distance_error
+from repro.partialcube.hierarchy import LabelHierarchy, hierarchy_from_permutation
+
+__all__ = [
+    "PartialCubeLabeling",
+    "partial_cube_labeling",
+    "is_partial_cube",
+    "djokovic_classes",
+    "verify_labeling",
+    "labeling_distance_error",
+    "LabelHierarchy",
+    "hierarchy_from_permutation",
+]

@@ -1,0 +1,168 @@
+"""Partial-cube recognition and labeling via the Djokovic relation.
+
+Implements the paper's §3 procedure:
+
+1. check bipartiteness (non-bipartite graphs are never partial cubes);
+2. repeatedly pick an unclassified edge ``e = {x, y}`` and compute its
+   Djokovic class: all edges ``f`` with exactly one endpoint closer to
+   ``x`` than to ``y``.  For bipartite graphs this equals the cut-set of
+   the vertex bipartition ``(W_xy, W_yx)``;
+3. if a class overlaps a previously computed class, the cut-sets do not
+   partition ``E`` and the graph is not a partial cube;
+4. while computing class ``j``, set bit ``j`` of every vertex label to 0
+   iff the vertex lies on the ``x`` side (Eq. 5);
+5. finally verify ``d_G(u, v) == Hamming(l(u), l(v))`` for all pairs --
+   cheap at processor-graph scale and makes recognition sound rather than
+   merely heuristic.
+
+Labels are packed into ``int64``: Djokovic class ``j`` occupies bit ``j``.
+The packed convention supports graphs with at most 63 classes, which
+covers every topology in the paper (the 16x16 torus is the largest with
+32).  :func:`djokovic_classes` also returns the raw class structure for
+graphs beyond the packing limit (e.g. large trees).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import NotPartialCubeError
+from repro.graphs.algorithms import all_pairs_distances, bipartition_colors, is_connected
+from repro.graphs.graph import Graph
+from repro.utils.bitops import MAX_LABEL_BITS
+
+
+@dataclass(frozen=True)
+class PartialCubeLabeling:
+    """A Hamming labeling of a partial cube.
+
+    Attributes
+    ----------
+    labels:
+        ``int64`` array, one packed bitvector per vertex; bit ``j`` is the
+    side of Djokovic class ``j``.
+    dim:
+        number of Djokovic classes (= isometric dimension of the graph).
+    cut_edges:
+        for each class ``j``, the ``(k_j, 2)`` array of cut-set edges --
+        the paper's convex cuts, kept for inspection and testing.
+    """
+
+    labels: np.ndarray
+    dim: int
+    cut_edges: tuple = field(default_factory=tuple, repr=False)
+
+    @property
+    def n(self) -> int:
+        return int(self.labels.shape[0])
+
+    def side(self, j: int) -> np.ndarray:
+        """Boolean array: which vertices have bit ``j`` set."""
+        if not (0 <= j < self.dim):
+            raise IndexError(f"class {j} out of range [0, {self.dim})")
+        return ((self.labels >> j) & 1).astype(bool)
+
+    def as_bit_matrix(self) -> np.ndarray:
+        """``(n, dim)`` 0/1 matrix; column ``j`` = class ``j``."""
+        shifts = np.arange(self.dim, dtype=np.int64)
+        return ((self.labels[:, None] >> shifts[None, :]) & 1).astype(np.int8)
+
+
+def djokovic_classes(g: Graph, distances: np.ndarray | None = None):
+    """Compute the Djokovic classes of a connected bipartite graph.
+
+    Returns ``(edge_class, classes)`` where ``edge_class`` assigns every
+    undirected edge (in ``g.edge_arrays()`` order) a class id and
+    ``classes`` is a list of ``(x, y)`` representative edges.  Raises
+    :class:`NotPartialCubeError` if classes overlap (step 3 of §3) or the
+    graph is not bipartite / not connected.
+    """
+    if g.n == 0:
+        return np.empty(0, np.int64), []
+    if not is_connected(g):
+        raise NotPartialCubeError(
+            "graph is disconnected; partial cubes are connected", reason="disconnected"
+        )
+    if bipartition_colors(g) is None:
+        raise NotPartialCubeError("graph is not bipartite", reason="not-bipartite")
+    if distances is None:
+        distances = all_pairs_distances(g)
+    us, vs, _ = g.edge_arrays()
+    m = us.shape[0]
+    edge_class = np.full(m, -1, dtype=np.int64)
+    classes: list[tuple[int, int]] = []
+    for e_idx in range(m):
+        if edge_class[e_idx] >= 0:
+            continue
+        x, y = int(us[e_idx]), int(vs[e_idx])
+        side_y = distances[y] < distances[x]  # True = closer to y (the "1" side)
+        # Bipartite => no vertex is equidistant from the endpoints of an edge.
+        crossing = side_y[us] != side_y[vs]
+        conflict = crossing & (edge_class >= 0)
+        if conflict.any():
+            raise NotPartialCubeError(
+                "Djokovic cut-sets overlap; edges do not partition into convex "
+                "cut-sets",
+                reason="overlapping-classes",
+            )
+        j = len(classes)
+        edge_class[crossing] = j
+        classes.append((x, y))
+    return edge_class, classes
+
+
+def partial_cube_labeling(g: Graph, verify: bool = True) -> PartialCubeLabeling:
+    """Recognize ``g`` as a partial cube and return its Hamming labeling.
+
+    Parameters
+    ----------
+    g:
+        candidate processor graph.
+    verify:
+        when True (default), additionally check the labeling is isometric
+        (distance == Hamming for *all* vertex pairs).  The Djokovic
+        partition test is the paper's criterion; the verification pass
+        turns silent miscomputations into loud errors at negligible cost
+        for ``n <= ~2000``.
+    """
+    if g.n == 0:
+        raise NotPartialCubeError("empty graph has no labeling", reason="empty")
+    distances = all_pairs_distances(g)
+    edge_class, classes = djokovic_classes(g, distances)
+    dim = len(classes)
+    if dim > MAX_LABEL_BITS:
+        raise NotPartialCubeError(
+            f"isometric dimension {dim} exceeds packed-label limit "
+            f"{MAX_LABEL_BITS}; use djokovic_classes() directly",
+            reason="dimension-too-large",
+        )
+    labels = np.zeros(g.n, dtype=np.int64)
+    us, vs, _ = g.edge_arrays()
+    cut_edges = []
+    for j, (x, y) in enumerate(classes):
+        on_y_side = distances[y] < distances[x]
+        labels |= on_y_side.astype(np.int64) << j
+        members = np.nonzero(edge_class == j)[0]
+        cut_edges.append(np.stack([us[members], vs[members]], axis=1))
+    result = PartialCubeLabeling(labels=labels, dim=dim, cut_edges=tuple(cut_edges))
+    if verify:
+        xor = labels[:, None] ^ labels[None, :]
+        ham = np.bitwise_count(xor)
+        if not np.array_equal(ham, distances):
+            raise NotPartialCubeError(
+                "labeling is not isometric: Hamming distance disagrees with "
+                "graph distance",
+                reason="not-isometric",
+            )
+    return result
+
+
+def is_partial_cube(g: Graph) -> bool:
+    """True iff ``g`` is a (connected) partial cube with <= 63 classes."""
+    try:
+        partial_cube_labeling(g)
+        return True
+    except NotPartialCubeError:
+        return False

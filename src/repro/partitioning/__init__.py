@@ -1,0 +1,30 @@
+"""Multilevel graph partitioning (the repo's KaHIP stand-in).
+
+The paper obtains its initial solutions by partitioning ``G_a`` into
+``|V_p|`` balanced blocks with KaHIP and mapping blocks to PEs.  This
+package implements the same algorithmic family from scratch:
+
+- heavy-edge matching coarsening (:mod:`~repro.partitioning.matching`,
+  :mod:`~repro.partitioning.coarsen`),
+- greedy graph-growing initial bisection (:mod:`~repro.partitioning.initial`),
+- Fiduccia-Mattheyses refinement with balance constraint
+  (:mod:`~repro.partitioning.fm`),
+- a multilevel 2-way driver (:mod:`~repro.partitioning.multilevel`) and
+  recursive bisection for k-way (:mod:`~repro.partitioning.kway`).
+
+Entry point: :func:`partition_kway`.
+"""
+
+from repro.partitioning.partition import Partition
+from repro.partitioning.kway import partition_kway
+from repro.partitioning.multilevel import bisect_multilevel
+from repro.partitioning.metrics import edge_cut, imbalance, block_weights
+
+__all__ = [
+    "Partition",
+    "partition_kway",
+    "bisect_multilevel",
+    "edge_cut",
+    "imbalance",
+    "block_weights",
+]

@@ -1,0 +1,95 @@
+"""k-way partitioning by recursive bisection.
+
+Splits the target block count ``k`` as evenly as possible at every step
+(``k = k0 + k1`` with ``k0 = ceil(k/2)``), asks the multilevel bisector
+for a cut with matching weight fractions, and recurses on the induced
+subgraphs.  Blocks are numbered so that block ids follow the recursion's
+left-to-right leaf order -- the property the paper's IDENTITY mapping
+implicitly relies on (nearby block ids are likely to be well-connected).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.partitioning.multilevel import bisect_multilevel
+from repro.partitioning.partition import Partition
+from repro.partitioning.kway_refine import kway_refine
+from repro.partitioning.rebalance import balance_limit, rebalance
+from repro.utils.rng import SeedLike, make_rng
+
+
+def partition_kway(
+    g: Graph,
+    k: int,
+    epsilon: float = 0.03,
+    seed: SeedLike = None,
+    fm_passes: int = 8,
+    kway_passes: int = 2,
+) -> Partition:
+    """Partition ``g`` into ``k`` balanced blocks (the KaHIP stand-in).
+
+    Parameters mirror the paper's setup: ``epsilon`` defaults to the 3%
+    imbalance used in all experiments.  The result always satisfies the
+    paper's Eq. (1): every block weighs at most
+    ``(1 + epsilon) * ceil(W / k)`` -- recursive bisection gets explicit
+    per-side caps, and a final repair pass fixes any residual overload.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    rng = make_rng(seed)
+    assignment = np.zeros(g.n, dtype=np.int64)
+    if k > 1 and g.n > 0:
+        limit = balance_limit(g, k, epsilon)
+        _recurse(
+            g,
+            np.arange(g.n, dtype=np.int64),
+            k,
+            0,
+            assignment,
+            limit,
+            rng,
+            fm_passes,
+        )
+    part = Partition(g, assignment, k)
+    if not part.is_balanced(epsilon):
+        part = rebalance(part, epsilon)
+    if kway_passes > 0 and k > 1:
+        part = kway_refine(part, epsilon, max_passes=kway_passes)
+    return part
+
+
+def _recurse(
+    g_full: Graph,
+    vertices: np.ndarray,
+    k: int,
+    first_block: int,
+    assignment: np.ndarray,
+    limit: float,
+    rng: np.random.Generator,
+    fm_passes: int,
+) -> None:
+    if k == 1 or vertices.size == 0:
+        assignment[vertices] = first_block
+        return
+    sub, original_ids = g_full.subgraph(vertices)
+    k0 = (k + 1) // 2
+    k1 = k - k0
+    frac0 = k0 / k
+    # Hard caps: each side must remain packable into its block count.
+    sides = bisect_multilevel(
+        sub,
+        weight_fraction_0=frac0,
+        seed=rng,
+        fm_passes=fm_passes,
+        max_weight=(k0 * limit, k1 * limit),
+    )
+    left = original_ids[sides == 0]
+    right = original_ids[sides == 1]
+    # Degenerate cuts (empty side) still need progress: split arbitrarily.
+    if left.size == 0 or right.size == 0:
+        half = vertices.size * k0 // k
+        left, right = vertices[:half], vertices[half:]
+    _recurse(g_full, left, k0, first_block, assignment, limit, rng, fm_passes)
+    _recurse(g_full, right, k1, first_block + k0, assignment, limit, rng, fm_passes)

@@ -1,0 +1,78 @@
+"""Direct k-way boundary refinement.
+
+Recursive bisection never reconsiders a cut once made; real multilevel
+partitioners (KaHIP included) finish with a k-way local search.  This
+module implements the standard greedy boundary refinement: repeatedly move
+a boundary vertex to the adjacent block with the highest positive cut gain
+that keeps the Eq. (1) balance cap, until a pass finds nothing.
+
+Kept separate from the recursion so tests can exercise it on arbitrary
+partitions and so :func:`~repro.partitioning.kway.partition_kway` can
+toggle it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.partitioning.partition import Partition
+from repro.partitioning.rebalance import balance_limit
+
+
+def kway_refine(
+    part: Partition,
+    epsilon: float,
+    max_passes: int = 3,
+) -> Partition:
+    """Greedy k-way boundary refinement under the Eq. (1) balance cap."""
+    g = part.graph
+    k = part.k
+    assign = part.assignment.copy()
+    vw = g.vertex_weights
+    limit = balance_limit(g, k, epsilon)
+    bw = np.zeros(k, dtype=np.float64)
+    np.add.at(bw, assign, vw)
+
+    indptr, indices, weights = g.indptr, g.indices, g.weights
+    for _ in range(max_passes):
+        moved = 0
+        boundary = _boundary_vertices(g, assign)
+        for v in boundary:
+            v = int(v)
+            b = int(assign[v])
+            nbrs = indices[indptr[v] : indptr[v + 1]]
+            wts = weights[indptr[v] : indptr[v + 1]]
+            nbr_blocks = assign[nbrs]
+            if (nbr_blocks == b).all():
+                continue
+            # weight of edges into each adjacent block
+            blocks, inv = np.unique(nbr_blocks, return_inverse=True)
+            into = np.zeros(blocks.shape[0], dtype=np.float64)
+            np.add.at(into, inv, wts)
+            own_idx = np.nonzero(blocks == b)[0]
+            own = float(into[own_idx[0]]) if own_idx.size else 0.0
+            best_gain, best_t = 0.0, -1
+            for t_idx, t in enumerate(blocks):
+                t = int(t)
+                if t == b or bw[t] + vw[v] > limit + 1e-9:
+                    continue
+                gain = float(into[t_idx]) - own
+                if gain > best_gain + 1e-12:
+                    best_gain, best_t = gain, t
+            if best_t >= 0:
+                bw[b] -= vw[v]
+                bw[best_t] += vw[v]
+                assign[v] = best_t
+                moved += 1
+        if moved == 0:
+            break
+    return Partition(g, assign, k)
+
+
+def _boundary_vertices(g: Graph, assign: np.ndarray) -> np.ndarray:
+    us = np.repeat(np.arange(g.n, dtype=np.int64), np.diff(g.indptr))
+    cross = assign[us] != assign[g.indices]
+    out = np.zeros(g.n, dtype=bool)
+    out[us[cross]] = True
+    return np.nonzero(out)[0]

@@ -1,0 +1,45 @@
+"""Partition quality metrics as free functions.
+
+Thin functional layer over :class:`~repro.partitioning.Partition` so the
+experiment harness (and tests) can score raw assignment arrays without
+building the value object.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+
+def edge_cut(g: Graph, assignment: np.ndarray) -> float:
+    """Total weight of edges crossing between blocks."""
+    assignment = np.asarray(assignment, dtype=np.int64)
+    us, vs, ws = g.edge_arrays()
+    return float(ws[assignment[us] != assignment[vs]].sum())
+
+
+def block_weights(g: Graph, assignment: np.ndarray, k: int) -> np.ndarray:
+    """Vertex weight per block."""
+    out = np.zeros(k, dtype=np.float64)
+    np.add.at(out, np.asarray(assignment, dtype=np.int64), g.vertex_weights)
+    return out
+
+
+def imbalance(g: Graph, assignment: np.ndarray, k: int) -> float:
+    """Relative overload of the heaviest block (0 = perfect balance)."""
+    bw = block_weights(g, assignment, k)
+    ideal = g.vertex_weights.sum() / k
+    if ideal == 0:
+        return 0.0
+    return float(bw.max() / ideal - 1.0)
+
+
+def boundary_vertices(g: Graph, assignment: np.ndarray) -> np.ndarray:
+    """Vertices with at least one neighbor in a different block."""
+    assignment = np.asarray(assignment, dtype=np.int64)
+    us = np.repeat(np.arange(g.n, dtype=np.int64), np.diff(g.indptr))
+    cross = assignment[us] != assignment[g.indices]
+    out = np.zeros(g.n, dtype=bool)
+    out[us[cross]] = True
+    return np.nonzero(out)[0]

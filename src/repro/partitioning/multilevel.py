@@ -1,0 +1,66 @@
+"""Multilevel 2-way partitioning driver.
+
+coarsen (heavy-edge matching) -> initial bisection (greedy growing) ->
+uncoarsen with FM refinement at every level.  This is one "V-cycle" of
+the standard multilevel scheme; :mod:`~repro.partitioning.kway` composes
+it recursively for k-way partitions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.partitioning.coarsen import coarsen_to_size
+from repro.partitioning.fm import fm_refine
+from repro.partitioning.initial import grow_bisection
+from repro.utils.rng import SeedLike, make_rng
+
+#: stop coarsening when the graph is this small
+COARSE_LIMIT = 64
+
+
+def bisect_multilevel(
+    g: Graph,
+    weight_fraction_0: float = 0.5,
+    epsilon: float = 0.03,
+    seed: SeedLike = None,
+    coarse_limit: int = COARSE_LIMIT,
+    fm_passes: int = 8,
+    max_weight: tuple[float, float] | None = None,
+) -> np.ndarray:
+    """Bisect ``g`` into sides 0/1 with side 0 taking ``weight_fraction_0``.
+
+    The balance tolerance ``epsilon`` applies to both sides relative to
+    their targets; an explicit ``max_weight`` pair overrides it (used by
+    the k-way recursion to impose packing caps).  Returns the 0/1
+    assignment array.
+    """
+    if not (0.0 < weight_fraction_0 < 1.0):
+        raise ValueError(f"weight_fraction_0 must be in (0, 1), got {weight_fraction_0}")
+    if g.n == 0:
+        return np.empty(0, dtype=np.int64)
+    if g.n == 1:
+        return np.zeros(1, dtype=np.int64)
+    rng = make_rng(seed)
+    total = float(g.vertex_weights.sum())
+    target0 = total * weight_fraction_0
+    target1 = total - target0
+    if max_weight is None:
+        max_w = (target0 * (1.0 + epsilon), target1 * (1.0 + epsilon))
+    else:
+        max_w = (float(max_weight[0]), float(max_weight[1]))
+    # Cap coarse vertex weight so a single coarse vertex cannot overflow a
+    # side; 1.5x the smaller target is the usual safety margin.
+    max_cv_weight = 1.5 * min(target0, target1)
+
+    levels = coarsen_to_size(
+        g, coarse_limit, seed=rng, max_vertex_weight=max_cv_weight
+    )
+    coarsest = levels[-1].coarse if levels else g
+    assign = grow_bisection(coarsest, target0, seed=rng, attempts=4)
+    assign = fm_refine(coarsest, assign, max_w, max_passes=fm_passes)
+    for level in reversed(levels):
+        assign = assign[level.coarse_of]  # project to the finer graph
+        assign = fm_refine(level.fine, assign, max_w, max_passes=fm_passes)
+    return assign

@@ -1,0 +1,95 @@
+"""The :class:`Partition` value type.
+
+A partition of a graph's vertex set into ``k`` blocks, stored as an
+assignment array.  Carries its graph to make metrics one-call and to let
+the mapping layer build communication graphs without re-plumbing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import BalanceError
+from repro.graphs.graph import Graph
+from repro.utils.validation import as_int_array, check_assignment
+
+
+@dataclass(frozen=True)
+class Partition:
+    """An assignment of the vertices of ``graph`` to blocks ``0..k-1``.
+
+    ``k`` counts *declared* blocks; blocks may be empty (e.g. when a tiny
+    graph is split into many blocks).
+    """
+
+    graph: Graph
+    assignment: np.ndarray
+    k: int
+
+    def __post_init__(self):
+        arr = as_int_array("assignment", self.assignment, self.graph.n)
+        check_assignment("assignment", arr, self.k)
+        object.__setattr__(self, "assignment", arr)
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self.graph.n
+
+    def block_weights(self) -> np.ndarray:
+        """Total vertex weight per block."""
+        out = np.zeros(self.k, dtype=np.float64)
+        np.add.at(out, self.assignment, self.graph.vertex_weights)
+        return out
+
+    def block_sizes(self) -> np.ndarray:
+        """Vertex count per block."""
+        return np.bincount(self.assignment, minlength=self.k)
+
+    def block_members(self, b: int) -> np.ndarray:
+        return np.nonzero(self.assignment == b)[0]
+
+    def edge_cut(self) -> float:
+        """Total weight of edges whose endpoints lie in different blocks."""
+        us, vs, ws = self.graph.edge_arrays()
+        return float(ws[self.assignment[us] != self.assignment[vs]].sum())
+
+    def imbalance(self) -> float:
+        """``max_b w(b) / (W / k) - 1`` (0 = perfectly balanced)."""
+        bw = self.block_weights()
+        ideal = self.graph.vertex_weights.sum() / self.k
+        if ideal == 0:
+            return 0.0
+        return float(bw.max() / ideal - 1.0)
+
+    def check_balance(self, epsilon: float) -> None:
+        """Raise :class:`BalanceError` when Eq. (1) of the paper fails.
+
+        The paper's constraint: every block holds at most
+        ``(1 + eps) * ceil(n / k)`` vertices (unit weights).
+        """
+        limit = (1.0 + epsilon) * np.ceil(self.graph.vertex_weights.sum() / self.k)
+        bw = self.block_weights()
+        worst = int(np.argmax(bw))
+        if bw[worst] > limit + 1e-9:
+            raise BalanceError(
+                f"block {worst} has weight {bw[worst]:.1f} > limit {limit:.1f} "
+                f"(epsilon={epsilon})"
+            )
+
+    def is_balanced(self, epsilon: float) -> bool:
+        try:
+            self.check_balance(epsilon)
+            return True
+        except BalanceError:
+            return False
+
+    def with_assignment(self, assignment: np.ndarray) -> "Partition":
+        return Partition(self.graph, assignment, self.k)
+
+    def renumbered(self) -> "Partition":
+        """Relabel blocks to drop empty ids (0..k'-1, first-seen order)."""
+        uniq, inv = np.unique(self.assignment, return_inverse=True)
+        return Partition(self.graph, inv.astype(np.int64), len(uniq))

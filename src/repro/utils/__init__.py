@@ -1,0 +1,24 @@
+"""Shared low-level utilities: RNG handling, bit operations, validation."""
+
+from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.bitops import (
+    popcount,
+    hamming,
+    bit_length_for,
+    mask_of_width,
+    permute_bits,
+    unpermute_bits,
+)
+from repro.utils.stopwatch import Stopwatch
+
+__all__ = [
+    "make_rng",
+    "spawn_rngs",
+    "popcount",
+    "hamming",
+    "bit_length_for",
+    "mask_of_width",
+    "permute_bits",
+    "unpermute_bits",
+    "Stopwatch",
+]

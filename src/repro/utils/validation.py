@@ -1,0 +1,45 @@
+"""Argument-validation helpers shared across the package.
+
+These raise early with actionable messages instead of letting numpy
+index errors surface deep inside an algorithm.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_positive(name: str, value: float) -> None:
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_nonnegative(name: str, value: float) -> None:
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def check_in_range(name: str, value: float, lo: float, hi: float) -> None:
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+
+
+def as_int_array(name: str, values, n: int | None = None) -> np.ndarray:
+    """Coerce ``values`` to a 1-D int64 array, optionally checking length."""
+    arr = np.asarray(values, dtype=np.int64)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    if n is not None and arr.shape[0] != n:
+        raise ValueError(f"{name} must have length {n}, got {arr.shape[0]}")
+    return arr
+
+
+def check_assignment(name: str, assignment: np.ndarray, n_targets: int) -> None:
+    """Validate an assignment array maps into ``range(n_targets)``."""
+    if assignment.size == 0:
+        return
+    lo, hi = int(assignment.min()), int(assignment.max())
+    if lo < 0 or hi >= n_targets:
+        raise ValueError(
+            f"{name} values must be in [0, {n_targets - 1}], found range [{lo}, {hi}]"
+        )

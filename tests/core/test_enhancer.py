@@ -1,0 +1,143 @@
+"""Tests for Algorithm 1 (timer_enhance)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TimerConfig
+from repro.core.enhancer import timer_enhance
+from repro.core.labels import build_application_labeling
+from repro.core.objective import coco_plus
+from repro.errors import ConfigurationError
+from repro.graphs import generators as gen
+from repro.mapping.objective import coco
+from repro.partialcube.djokovic import partial_cube_labeling
+from repro.partitioning.kway import partition_kway
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ga = gen.barabasi_albert(400, 3, seed=2)
+    gp = gen.grid(4, 4)
+    pc = partial_cube_labeling(gp)
+    part = partition_kway(ga, gp.n, seed=2)
+    mu = part.assignment.copy()
+    return ga, gp, pc, mu
+
+
+class TestEnhance:
+    def test_coco_plus_never_increases(self, setup):
+        ga, gp, pc, mu = setup
+        res = timer_enhance(ga, gp, pc, mu, n_hierarchies=6, seed=1)
+        diffs = np.diff(np.asarray(res.history))
+        assert (diffs <= 1e-9).all()
+
+    def test_reported_coco_cross_checks(self, setup):
+        ga, gp, pc, mu = setup
+        res = timer_enhance(ga, gp, pc, mu, n_hierarchies=4, seed=2)
+        assert np.isclose(res.coco_before, coco(ga, gp, mu))
+        assert np.isclose(res.coco_after, coco(ga, gp, res.mu_after))
+
+    def test_balance_preserved_exactly(self, setup):
+        ga, gp, pc, mu = setup
+        res = timer_enhance(ga, gp, pc, mu, n_hierarchies=6, seed=3)
+        before = np.bincount(mu, minlength=gp.n)
+        after = np.bincount(res.mu_after, minlength=gp.n)
+        assert np.array_equal(before, after)
+
+    def test_labels_stay_bijective(self, setup):
+        ga, gp, pc, mu = setup
+        res = timer_enhance(ga, gp, pc, mu, n_hierarchies=6, seed=4)
+        res.labeling.check_bijective()
+
+    def test_deterministic_under_seed(self, setup):
+        ga, gp, pc, mu = setup
+        a = timer_enhance(ga, gp, pc, mu, n_hierarchies=3, seed=7)
+        b = timer_enhance(ga, gp, pc, mu, n_hierarchies=3, seed=7)
+        assert np.array_equal(a.mu_after, b.mu_after)
+        assert a.coco_after == b.coco_after
+
+    def test_zero_hierarchies_is_identity(self, setup):
+        ga, gp, pc, mu = setup
+        res = timer_enhance(ga, gp, pc, mu, n_hierarchies=0, seed=5)
+        assert np.array_equal(res.mu_after, mu)
+        assert res.coco_after == res.coco_before
+
+    def test_improves_on_average(self, setup):
+        ga, gp, pc, mu = setup
+        res = timer_enhance(ga, gp, pc, mu, n_hierarchies=10, seed=6)
+        assert res.coco_after <= res.coco_before
+
+    def test_derives_pc_when_missing(self, setup):
+        ga, gp, _, mu = setup
+        res = timer_enhance(ga, gp, None, mu, n_hierarchies=2, seed=8)
+        assert res.labeling.dim_p == 6
+
+    def test_requires_gp_or_pc(self, setup):
+        ga, _, _, mu = setup
+        with pytest.raises(ValueError):
+            timer_enhance(ga, None, None, mu, n_hierarchies=1)
+
+    def test_improvement_property(self, setup):
+        ga, gp, pc, mu = setup
+        res = timer_enhance(ga, gp, pc, mu, n_hierarchies=8, seed=9)
+        assert res.coco_improvement == pytest.approx(
+            1 - res.coco_after / res.coco_before
+        )
+
+    def test_swap_coarsest_extension_runs(self, setup):
+        ga, gp, pc, mu = setup
+        cfg = TimerConfig(n_hierarchies=3, swap_coarsest=True)
+        res = timer_enhance(ga, gp, pc, mu, seed=10, config=cfg)
+        res.labeling.check_bijective()
+
+    def test_sweeps_config(self, setup):
+        ga, gp, pc, mu = setup
+        cfg = TimerConfig(n_hierarchies=3, sweeps_per_level=3)
+        res = timer_enhance(ga, gp, pc, mu, seed=11, config=cfg)
+        assert res.coco_after <= res.coco_before * 1.05
+
+    def test_history_length(self, setup):
+        ga, gp, pc, mu = setup
+        res = timer_enhance(ga, gp, pc, mu, n_hierarchies=5, seed=12)
+        assert len(res.history) == 5
+        assert 0 <= res.hierarchies_accepted <= 5
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            TimerConfig(n_hierarchies=-1)
+        with pytest.raises(ConfigurationError):
+            TimerConfig(sweeps_per_level=0)
+
+
+class TestDegenerateInputs:
+    def test_singleton_blocks(self):
+        """dim_e == 0: every vertex its own PE."""
+        gp = gen.grid(2, 4)
+        pc = partial_cube_labeling(gp)
+        ga = gen.cycle(8)
+        mu = np.arange(8, dtype=np.int64)
+        res = timer_enhance(ga, gp, pc, mu, n_hierarchies=5, seed=1)
+        assert res.coco_after <= res.coco_before
+        assert sorted(res.mu_after.tolist()) == list(range(8))
+
+    def test_single_pe_path(self):
+        """All vertices on one PE of a 2-PE system: Coco is 0 throughout."""
+        gp = gen.path(2)
+        pc = partial_cube_labeling(gp)
+        ga = gen.cycle(6)
+        mu = np.zeros(6, dtype=np.int64)
+        res = timer_enhance(ga, gp, pc, mu, n_hierarchies=3, seed=2)
+        assert res.coco_before == res.coco_after == 0.0
+
+    def test_weighted_edges_respected(self):
+        gp = gen.path(4)
+        pc = partial_cube_labeling(gp)
+        ga_edges = [(0, 1, 100.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)]
+        from repro.graphs.builder import from_edges
+
+        ga = from_edges(4, ga_edges)
+        # worst possible: heavy pair at the two ends of the path
+        mu = np.asarray([0, 3, 1, 2])
+        res = timer_enhance(ga, gp, pc, mu, n_hierarchies=20, seed=3)
+        # the heavy edge must end up adjacent or colocated-ish
+        assert res.coco_after < res.coco_before

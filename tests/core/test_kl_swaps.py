@@ -1,0 +1,93 @@
+"""Tests for the KL-style swap pass (future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TimerConfig
+from repro.core.contraction import make_finest_level
+from repro.core.enhancer import timer_enhance
+from repro.core.objective import coco_plus_signed
+from repro.core.swaps import kl_swap_pass, swap_pass
+from repro.errors import ConfigurationError
+from repro.graphs import generators as gen
+from repro.graphs.builder import from_edges
+from repro.partialcube.djokovic import partial_cube_labeling
+from repro.partitioning.kway import partition_kway
+
+
+def _signed(graph, labels, sign, dim):
+    signs = np.full(dim, -sign)
+    signs[0] = sign
+    return coco_plus_signed(graph, labels, signs)
+
+
+class TestKlPass:
+    def test_never_worse_than_start(self, ba_graph):
+        rng = np.random.default_rng(1)
+        dim = 10
+        labels = rng.choice(1 << dim, size=ba_graph.n, replace=False).astype(np.int64)
+        for sign in (1, -1):
+            lvl = make_finest_level(ba_graph.edge_arrays(), labels.copy())
+            before = _signed(ba_graph, lvl.labels, sign, dim)
+            n, delta = kl_swap_pass(lvl, sign=sign)
+            after = _signed(ba_graph, lvl.labels, sign, dim)
+            assert after <= before + 1e-9
+            assert np.isclose(after - before, delta, atol=1e-9)
+
+    def test_multiset_preserved(self, ba_graph):
+        rng = np.random.default_rng(2)
+        labels = rng.permutation(ba_graph.n).astype(np.int64)
+        lvl = make_finest_level(ba_graph.edge_arrays(), labels.copy())
+        kl_swap_pass(lvl, sign=1, sweeps=2)
+        assert sorted(lvl.labels.tolist()) == sorted(labels.tolist())
+
+    def test_at_least_as_good_as_greedy(self, ba_graph):
+        """KL explores supersets of greedy's moves: final estimate <=."""
+        rng = np.random.default_rng(3)
+        dim = 10
+        labels = rng.choice(1 << dim, size=ba_graph.n, replace=False).astype(np.int64)
+        greedy_lvl = make_finest_level(ba_graph.edge_arrays(), labels.copy())
+        kl_lvl = make_finest_level(ba_graph.edge_arrays(), labels.copy())
+        _, d_greedy = swap_pass(greedy_lvl, sign=1)
+        _, d_kl = kl_swap_pass(kl_lvl, sign=1)
+        assert d_kl <= d_greedy + 1e-9
+
+    def test_escapes_local_plateau(self):
+        """KL can chain a zero/negative-gain swap into a later gain.
+
+        Construct a path of sibling pairs where the first swap alone has
+        negative gain but enables a bigger one.
+        """
+        # vertices 0..3, labels 0,1,2,3: pairs (0,1) and (2,3)
+        g = from_edges(4, [(1, 2, 10.0), (0, 2, 1.0), (0, 3, 12.0)])
+        labels = [0, 1, 2, 3]
+        lvl = make_finest_level(g.edge_arrays(), np.asarray(labels, np.int64))
+        n, delta = kl_swap_pass(lvl, sign=1)
+        assert delta <= 0.0
+        assert sorted(lvl.labels.tolist()) == [0, 1, 2, 3]
+
+    def test_sign_validated(self, triangle):
+        lvl = make_finest_level(triangle.edge_arrays(), np.asarray([0, 1, 2]))
+        with pytest.raises(ValueError):
+            kl_swap_pass(lvl, sign=2)
+
+    def test_empty(self):
+        g = from_edges(3, [])
+        lvl = make_finest_level(g.edge_arrays(), np.asarray([0, 1, 2]))
+        assert kl_swap_pass(lvl, sign=1) == (0, 0.0)
+
+
+class TestKlInEnhancer:
+    def test_end_to_end(self):
+        ga = gen.barabasi_albert(300, 3, seed=4)
+        gp = gen.grid(4, 4)
+        pc = partial_cube_labeling(gp)
+        part = partition_kway(ga, gp.n, seed=4)
+        cfg = TimerConfig(n_hierarchies=4, swap_strategy="kl")
+        res = timer_enhance(ga, gp, pc, part.assignment, seed=5, config=cfg)
+        res.labeling.check_bijective()
+        assert res.coco_after <= res.coco_before
+
+    def test_invalid_strategy(self):
+        with pytest.raises(ConfigurationError):
+            TimerConfig(swap_strategy="annealing")

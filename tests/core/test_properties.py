@@ -1,0 +1,80 @@
+"""Property-based tests over the full TIMER pipeline."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.enhancer import timer_enhance
+from repro.core.labels import build_application_labeling
+from repro.graphs import generators as gen
+from repro.mapping.objective import coco
+from repro.partialcube.djokovic import partial_cube_labeling
+
+
+def _random_balanced_mu(rng, n, k):
+    """A perfectly balanced random mapping (blocks differ by <= 1)."""
+    mu = np.arange(n) % k
+    rng.shuffle(mu)
+    return mu.astype(np.int64)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    n=st.integers(min_value=32, max_value=150),
+)
+def test_timer_full_invariants(seed, n):
+    """For arbitrary inputs: bijectivity, balance, Coco+ monotonicity,
+    and agreement between label-based and distance-based Coco."""
+    rng = np.random.default_rng(seed)
+    ga = gen.barabasi_albert(n, 2, seed=int(rng.integers(1 << 30)))
+    gp = gen.grid(2, 4)
+    pc = partial_cube_labeling(gp)
+    mu = _random_balanced_mu(rng, ga.n, gp.n)
+    res = timer_enhance(ga, gp, pc, mu, n_hierarchies=4, seed=int(rng.integers(1 << 30)))
+    # label bijection
+    res.labeling.check_bijective()
+    # balance preserved exactly
+    assert np.array_equal(
+        np.bincount(mu, minlength=gp.n), np.bincount(res.mu_after, minlength=gp.n)
+    )
+    # monotone acceptance
+    assert all(b <= a + 1e-9 for a, b in zip(res.history, res.history[1:]))
+    # metric agreement
+    assert np.isclose(res.coco_after, coco(ga, gp, res.mu_after))
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_labeling_roundtrip_mu(seed):
+    """build labels -> decode mu is the identity for any mapping."""
+    rng = np.random.default_rng(seed)
+    ga = gen.erdos_renyi(60, 0.1, seed=int(rng.integers(1 << 30)))
+    gp = gen.torus(4, 4)
+    pc = partial_cube_labeling(gp)
+    mu = rng.integers(0, gp.n, ga.n)
+    app = build_application_labeling(ga, pc, mu, seed=int(rng.integers(1 << 30)))
+    assert np.array_equal(app.mu(), mu)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    topo=st.sampled_from(["grid", "torus", "hypercube", "path"]),
+)
+def test_timer_on_every_topology_family(seed, topo):
+    """TIMER accepts every partial-cube family the paper mentions."""
+    rng = np.random.default_rng(seed)
+    gp = {
+        "grid": lambda: gen.grid(2, 2, 2),
+        "torus": lambda: gen.torus(4, 4),
+        "hypercube": lambda: gen.hypercube(3),
+        "path": lambda: gen.path(8),
+    }[topo]()
+    pc = partial_cube_labeling(gp)
+    ga = gen.powerlaw_cluster(80, 2, 0.4, seed=int(rng.integers(1 << 30)))
+    mu = _random_balanced_mu(rng, ga.n, gp.n)
+    res = timer_enhance(ga, gp, pc, mu, n_hierarchies=3, seed=int(rng.integers(1 << 30)))
+    # acceptance is on Coco+ (Coco itself may fluctuate); the invariants
+    # that must hold everywhere are monotone Coco+ and bijectivity.
+    assert all(b <= a + 1e-9 for a, b in zip(res.history, res.history[1:]))
+    res.labeling.check_bijective()

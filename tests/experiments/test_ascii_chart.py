@@ -1,0 +1,53 @@
+"""Tests for the ASCII Figure-5 chart."""
+
+import pytest
+
+from repro.experiments.ascii_chart import SCALE, bar_for, render_fig5_chart
+
+
+class TestBar:
+    def test_neutral_is_axis_only(self):
+        bar = bar_for(1.0)
+        assert bar.count("#") == 0
+        assert "|" in bar
+
+    def test_improvement_left_of_axis(self):
+        bar = bar_for(0.8)
+        axis = bar.index("|")
+        assert "#" in bar[:axis]
+        assert "#" not in bar[axis:]
+
+    def test_deterioration_right_of_axis(self):
+        bar = bar_for(1.2)
+        axis = bar.index("|")
+        assert "#" in bar[axis:]
+        assert "#" not in bar[:axis]
+
+    def test_clipped_extremes(self):
+        assert bar_for(0.01).count("#") == SCALE
+        assert bar_for(5.0).count("#") == SCALE
+
+    def test_constant_width(self):
+        widths = {len(bar_for(q)) for q in (0.5, 0.9, 1.0, 1.1, 2.0)}
+        assert len(widths) == 1
+
+
+class TestChart:
+    def test_renders_from_sweep(self):
+        # reuse the synthetic-result helper from the claims tests
+        from tests.experiments.test_claims import _fake_result
+
+        result = _fake_result(
+            [("c1", "grid4x4", 0.85, 1.08), ("c1", "hq4", 0.95, 1.04)]
+        )
+        text = render_fig5_chart(result, "c1")
+        assert "grid4x4 Cut" in text
+        assert "hq4 Co" in text
+        assert "0.850" in text
+
+    def test_missing_case_is_empty_body(self):
+        from tests.experiments.test_claims import _fake_result
+
+        result = _fake_result([("c1", "grid4x4", 0.9, 1.05)])
+        text = render_fig5_chart(result, "c4")
+        assert "grid4x4" not in text

@@ -1,0 +1,43 @@
+"""Tests for CaseRun's derived quotients (incl. degenerate guards)."""
+
+import pytest
+
+from repro.experiments.cases import CaseRun
+
+
+def _run(**overrides):
+    base = dict(
+        case="c2", instance="x", topology="grid4x4", seed=1,
+        coco_before=200.0, coco_after=150.0,
+        cut_before=100.0, cut_after=110.0,
+        timer_seconds=2.0, baseline_seconds=4.0,
+        partition_seconds=4.0, mapping_seconds=0.1,
+        hierarchies_accepted=3,
+    )
+    base.update(overrides)
+    return CaseRun(**base)
+
+
+class TestQuotients:
+    def test_coco_quotient(self):
+        assert _run().coco_quotient == pytest.approx(0.75)
+
+    def test_cut_quotient(self):
+        assert _run().cut_quotient == pytest.approx(1.1)
+
+    def test_time_quotient(self):
+        assert _run().time_quotient == pytest.approx(0.5)
+
+    def test_zero_coco_before(self):
+        assert _run(coco_before=0.0).coco_quotient == 1.0
+
+    def test_zero_cut_before(self):
+        assert _run(cut_before=0.0).cut_quotient == 1.0
+
+    def test_zero_baseline_time(self):
+        assert _run(baseline_seconds=0.0).time_quotient == float("inf")
+
+    def test_frozen(self):
+        run = _run()
+        with pytest.raises(Exception):
+            run.coco_before = 1.0

@@ -1,0 +1,122 @@
+"""Tests for the programmatic §7.2 claim checks."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.cases import CaseRun
+from repro.experiments.claims import (
+    ALL_CHECKS,
+    check_c1_most_improvable,
+    check_coco_improves,
+    check_cut_inflates_modestly,
+    check_grids_beat_hypercube,
+    check_time_ordering,
+    render_claims,
+    validate_paper_claims,
+)
+from repro.experiments.runner import CellResult, ExperimentConfig, ExperimentResult
+
+
+def _run(case, topo, coco_q, cut_q, t=1.0, bt=2.0):
+    return CaseRun(
+        case=case, instance="x", topology=topo, seed=0,
+        coco_before=100.0, coco_after=100.0 * coco_q,
+        cut_before=50.0, cut_after=50.0 * cut_q,
+        timer_seconds=t, baseline_seconds=bt,
+        partition_seconds=bt, mapping_seconds=0.1,
+        hierarchies_accepted=1,
+    )
+
+
+def _fake_result(cells_spec):
+    """cells_spec: list of (case, topo, coco_q, cut_q, t, bt)."""
+    topologies = tuple(sorted({s[1] for s in cells_spec}))
+    cases = tuple(sorted({s[0] for s in cells_spec}))
+    config = ExperimentConfig(
+        instances=("x",), topologies=topologies, cases=cases, repetitions=1
+    )
+    result = ExperimentResult(config=config)
+    for spec in cells_spec:
+        case, topo = spec[0], spec[1]
+        result.cells.append(
+            CellResult(instance="x", topology=topo, case=case, runs=[_run(*spec)])
+        )
+    return result
+
+
+class TestIndividualChecks:
+    def test_coco_improves_pass(self):
+        r = _fake_result([("c1", "grid4x4", 0.9, 1.05)])
+        assert check_coco_improves(r).passed
+
+    def test_coco_improves_fail(self):
+        r = _fake_result([("c1", "grid4x4", 1.2, 1.05)])
+        assert not check_coco_improves(r).passed
+
+    def test_cut_band(self):
+        assert check_cut_inflates_modestly(
+            _fake_result([("c1", "grid4x4", 0.9, 1.07)])
+        ).passed
+        assert not check_cut_inflates_modestly(
+            _fake_result([("c1", "grid4x4", 0.9, 1.5)])
+        ).passed
+
+    def test_grid_vs_hq(self):
+        good = _fake_result(
+            [("c1", "grid4x4", 0.85, 1.05), ("c1", "hq4", 0.95, 1.05)]
+        )
+        assert check_grids_beat_hypercube(good).passed
+        bad = _fake_result(
+            [("c1", "grid4x4", 0.99, 1.05), ("c1", "hq4", 0.80, 1.05)]
+        )
+        assert not check_grids_beat_hypercube(bad).passed
+
+    def test_c1_ordering(self):
+        good = _fake_result(
+            [
+                ("c1", "grid4x4", 0.85, 1.0),
+                ("c3", "grid4x4", 0.95, 1.0),
+                ("c4", "grid4x4", 0.96, 1.0),
+            ]
+        )
+        assert check_c1_most_improvable(good).passed
+        bad = _fake_result(
+            [("c1", "grid4x4", 0.99, 1.0), ("c3", "grid4x4", 0.85, 1.0)]
+        )
+        assert not check_c1_most_improvable(bad).passed
+
+    def test_c1_missing_cases(self):
+        r = _fake_result([("c2", "grid4x4", 0.9, 1.0)])
+        assert not check_c1_most_improvable(r).passed
+
+    def test_time_ordering(self):
+        good = _fake_result(
+            [
+                ("c1", "grid4x4", 0.9, 1.0, 1.0, 0.2),   # qT = 5
+                ("c2", "grid4x4", 0.9, 1.0, 1.0, 2.0),   # qT = 0.5
+            ]
+        )
+        assert check_time_ordering(good).passed
+
+
+class TestDriver:
+    def test_validate_runs_all(self):
+        r = _fake_result(
+            [
+                ("c1", "grid4x4", 0.85, 1.05, 1.0, 0.2),
+                ("c2", "grid4x4", 0.88, 1.06, 1.0, 2.0),
+                ("c3", "grid4x4", 0.95, 1.04, 1.0, 2.0),
+                ("c1", "hq4", 0.93, 1.05, 1.0, 0.2),
+                ("c2", "hq4", 0.94, 1.05, 1.0, 2.0),
+                ("c3", "hq4", 0.97, 1.04, 1.0, 2.0),
+            ]
+        )
+        checks = validate_paper_claims(r)
+        assert len(checks) == len(ALL_CHECKS)
+        assert all(c.passed for c in checks), render_claims(checks)
+
+    def test_render(self):
+        r = _fake_result([("c1", "grid4x4", 0.9, 1.05)])
+        text = render_claims(validate_paper_claims(r))
+        assert "coco-improves" in text
+        assert "PASS" in text or "FAIL" in text

@@ -1,0 +1,96 @@
+"""Tests for the quotient/geometric-mean machinery (paper section 7.1)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.metrics import (
+    MinMeanMax,
+    aggregate_over_instances,
+    geometric_mean,
+    geometric_std,
+    summarize_cell,
+)
+
+
+class TestMinMeanMax:
+    def test_of(self):
+        s = MinMeanMax.of([3.0, 1.0, 2.0])
+        assert (s.min, s.mean, s.max) == (1.0, 2.0, 3.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            MinMeanMax.of([])
+
+    def test_divided_by(self):
+        q = MinMeanMax.of([2.0, 4.0]).divided_by(MinMeanMax.of([1.0, 2.0]))
+        assert (q.min, q.mean, q.max) == (2.0, 2.0, 2.0)
+
+    def test_divide_by_zero_inf(self):
+        q = MinMeanMax.of([1.0]).divided_by(MinMeanMax.of([0.0]))
+        assert q.min == float("inf")
+
+
+class TestGeometricStats:
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_mean_of_constant(self):
+        assert geometric_mean([3.0, 3.0, 3.0]) == pytest.approx(3.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_std([-1.0])
+
+    def test_geometric_std_constant_is_one(self):
+        assert geometric_std([5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_geometric_std_spread(self):
+        assert geometric_std([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+
+class TestSummarizeCell:
+    def test_paper_quotients(self):
+        """min/mean/max of TIMER divided by min/mean/max before TIMER."""
+        s = summarize_cell(
+            times=[2.0, 4.0],
+            baseline_times=[4.0, 4.0],
+            cuts_before=[10.0, 10.0],
+            cuts_after=[11.0, 13.0],
+            cocos_before=[100.0, 200.0],
+            cocos_after=[50.0, 80.0],
+        )
+        assert s.q_time.min == pytest.approx(0.5)
+        assert s.q_time.mean == pytest.approx(0.75)
+        assert s.q_cut.mean == pytest.approx(1.2)
+        assert s.q_coco.min == pytest.approx(0.5)
+        assert s.q_coco.max == pytest.approx(0.4)  # 80/200: qmin>qmax possible
+
+    def test_qmin_can_exceed_qmax(self):
+        """The paper notes qmin values can exceed qmean/qmax; reproduce."""
+        s = summarize_cell(
+            times=[1.0],
+            baseline_times=[1.0],
+            cuts_before=[1.0],
+            cuts_after=[1.0],
+            cocos_before=[10.0, 100.0],
+            cocos_after=[9.0, 20.0],
+        )
+        assert s.q_coco.min > s.q_coco.max
+
+
+class TestAggregate:
+    def test_over_instances(self):
+        cells = [
+            summarize_cell([1], [2], [10], [11], [100], [90]),
+            summarize_cell([2], [2], [10], [12], [100], [60]),
+        ]
+        agg = aggregate_over_instances(cells)
+        assert agg["q_time"]["mean"] == pytest.approx(np.sqrt(0.5 * 1.0))
+        assert agg["q_coco"]["mean"] == pytest.approx(np.sqrt(0.9 * 0.6))
+        assert "mean_gstd" in agg["q_cut"]

@@ -1,0 +1,154 @@
+"""Tests for the experiment runner, reporting and CLI (small factorials)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.cases import CASES, run_case
+from repro.experiments.cli import build_parser, main
+from repro.experiments.reporting import (
+    render_fig5,
+    render_summary,
+    render_table1,
+    render_table2,
+    render_table3,
+    to_csv,
+)
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.experiments.topologies import make_topology
+from repro.experiments.instances import generate_instance
+from repro.partitioning.kway import partition_kway
+from repro.core.config import TimerConfig
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    config = ExperimentConfig(
+        instances=("p2p-Gnutella", "PGPgiantcompo"),
+        topologies=("grid4x4", "hq4"),
+        cases=("c1", "c2"),
+        repetitions=2,
+        n_hierarchies=2,
+        divisor=1024,
+        n_min=128,
+        n_max=192,
+        seed=7,
+    )
+    return run_experiment(config)
+
+
+class TestRunCase:
+    def test_single_cell(self):
+        ga = generate_instance("p2p-Gnutella", seed=1, divisor=1024, n_min=128, n_max=192)
+        gp, pc = make_topology("grid4x4")
+        part = partition_kway(ga, gp.n, seed=1)
+        run, result = run_case(
+            "c2", ga, gp, pc, part, 0.5, "grid4x4", seed=3,
+            timer_config=TimerConfig(n_hierarchies=2),
+        )
+        assert run.case == "c2"
+        assert run.coco_before > 0
+        assert run.timer_seconds > 0
+        assert run.partition_seconds == 0.5
+        assert 0 < run.coco_quotient < 2
+
+    def test_unknown_case(self):
+        ga = generate_instance("p2p-Gnutella", seed=1, divisor=1024, n_min=128, n_max=192)
+        gp, pc = make_topology("grid4x4")
+        part = partition_kway(ga, gp.n, seed=1)
+        with pytest.raises(KeyError):
+            run_case("c7", ga, gp, pc, part, 0.1, "grid4x4", 1, TimerConfig(n_hierarchies=1))
+
+    def test_cases_registry(self):
+        assert list(CASES) == ["c1", "c2", "c3", "c4"]
+
+
+class TestRunner:
+    def test_cell_counts(self, small_result):
+        # 2 instances x 2 topologies x 2 cases
+        assert len(small_result.cells) == 8
+        for cell in small_result.cells:
+            assert len(cell.runs) == 2  # repetitions
+
+    def test_partition_sharing(self, small_result):
+        # both topologies have 16 PEs -> one partition per (instance, rep)
+        for (name, k), times in small_result.partition_times.items():
+            assert k == 16
+            assert len(times) == 2
+
+    def test_aggregate_shape(self, small_result):
+        agg = small_result.aggregate()
+        assert set(agg) == {"grid4x4", "hq4"}
+        assert set(agg["grid4x4"]) == {"c1", "c2"}
+        entry = agg["grid4x4"]["c1"]
+        assert set(entry) == {"q_time", "q_cut", "q_coco"}
+
+    def test_quotients_sane(self, small_result):
+        agg = small_result.aggregate()
+        for topo in agg.values():
+            for case in topo.values():
+                assert 0.2 < case["q_coco"]["mean"] < 1.5
+                assert 0.5 < case["q_cut"]["mean"] < 2.0
+
+    def test_instance_stats_recorded(self, small_result):
+        assert set(small_result.instance_stats) == {"p2p-Gnutella", "PGPgiantcompo"}
+
+
+class TestReporting:
+    def test_table1_lists_all(self):
+        text = render_table1(divisor=1024, seed=3)
+        for name in ("p2p-Gnutella", "as-skitter", "coPapersDBLP"):
+            assert name in text
+
+    def test_table2_contains_topologies(self, small_result):
+        text = render_table2(small_result)
+        assert "grid4x4" in text and "hq4" in text
+        assert "qTmean" in text
+
+    def test_table3_rows(self, small_result):
+        text = render_table3(small_result)
+        assert "p2p-Gnutella" in text
+        assert "Geometric mean" in text
+
+    def test_fig5_series(self, small_result):
+        text = render_fig5(small_result, "c1")
+        assert "minCut" in text and "maxCo" in text
+        assert "grid4x4" in text
+
+    def test_summary_mentions_families(self, small_result):
+        text = render_summary(small_result)
+        assert "grid" in text
+
+    def test_csv_rows(self, small_result):
+        csv = to_csv(small_result)
+        lines = csv.strip().splitlines()
+        assert len(lines) == 1 + 8 * 2  # header + cells * reps
+        assert lines[0].startswith("instance,topology,case")
+
+
+class TestCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["table2"])
+        assert args.reps == 3 and args.nh == 8
+
+    def test_table1_runs(self, capsys):
+        rc = main(["table1", "--divisor", "1024"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+
+    def test_fig5_small(self, capsys, tmp_path):
+        out_file = tmp_path / "fig5.txt"
+        rc = main(
+            [
+                "fig5",
+                "--instances", "p2p-Gnutella",
+                "--topologies", "grid4x4",
+                "--cases", "c2",
+                "--reps", "1",
+                "--nh", "1",
+                "--divisor", "2048",
+                "--out", str(out_file),
+            ]
+        )
+        assert rc == 0
+        assert "Figure 5" in out_file.read_text()

@@ -1,0 +1,96 @@
+"""Tests for experiment topologies and the instance suite."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.instances import (
+    INSTANCES,
+    generate_instance,
+    get_instance,
+    instance_names,
+    scaled_n,
+)
+from repro.experiments.topologies import (
+    PAPER_TOPOLOGIES,
+    make_topology,
+    topology_names,
+)
+from repro.graphs.algorithms import is_connected
+from repro.partialcube.verify import verify_labeling
+
+
+class TestTopologies:
+    def test_paper_set(self):
+        assert PAPER_TOPOLOGIES == (
+            "grid16x16",
+            "grid8x8x8",
+            "torus16x16",
+            "torus8x8x8",
+            "hq8",
+        )
+
+    @pytest.mark.parametrize("name", ["grid4x4", "torus4x4", "hq4", "cbt4", "path16"])
+    def test_small_topologies_labeled(self, name):
+        gp, pc = make_topology(name)
+        assert verify_labeling(gp, pc.labels)
+
+    def test_paper_pe_counts(self):
+        for name, n in [("grid16x16", 256), ("grid8x8x8", 512), ("hq8", 256)]:
+            gp, _ = make_topology(name)
+            assert gp.n == n
+
+    def test_cache_returns_same_object(self):
+        a = make_topology("grid4x4")
+        b = make_topology("grid4x4")
+        assert a[0] is b[0]
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            make_topology("klein-bottle")
+
+    def test_names_listing(self):
+        assert set(PAPER_TOPOLOGIES) <= set(topology_names())
+        assert topology_names(paper_only=True) == PAPER_TOPOLOGIES
+
+
+class TestInstances:
+    def test_fifteen_rows(self):
+        assert len(INSTANCES) == 15
+        assert len(instance_names()) == 15
+
+    def test_paper_sizes_recorded(self):
+        spec = get_instance("as-skitter")
+        assert spec.paper_n == 554_930
+
+    def test_unknown_instance(self):
+        with pytest.raises(KeyError):
+            get_instance("not-a-network")
+
+    def test_scaled_n_clipped(self):
+        spec = get_instance("p2p-Gnutella")
+        assert scaled_n(spec, divisor=1, n_max=1000) == 1000
+        assert scaled_n(spec, divisor=10**6, n_min=384) == 384
+
+    @pytest.mark.parametrize("name", ["p2p-Gnutella", "citationCiteseer", "web-Google"])
+    def test_generation_connected_named(self, name):
+        g = generate_instance(name, seed=1, divisor=128)
+        assert g.name == name
+        assert is_connected(g)
+        assert g.n >= 100
+
+    def test_deterministic(self):
+        a = generate_instance("PGPgiantcompo", seed=5, divisor=128)
+        b = generate_instance("PGPgiantcompo", seed=5, divisor=128)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_instance("PGPgiantcompo", seed=5, divisor=128)
+        b = generate_instance("PGPgiantcompo", seed=6, divisor=128)
+        assert a != b
+
+    def test_all_instances_generate_small(self):
+        for spec in INSTANCES:
+            g = generate_instance(spec.name, seed=3, divisor=1024, n_min=128, n_max=256)
+            assert g.n > 32, spec.name
+            assert is_connected(g), spec.name

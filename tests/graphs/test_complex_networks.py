@@ -1,0 +1,47 @@
+"""Tests for the complex-network suite wrapper and its structural claims."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import complex_networks as cn
+from repro.graphs.algorithms import is_connected
+
+
+class TestWrapper:
+    def test_names_match_experiments(self):
+        from repro.experiments.instances import instance_names
+
+        assert cn.names() == instance_names()
+
+    def test_generate_delegates(self):
+        g = cn.generate("PGPgiantcompo", seed=4, divisor=1024, n_min=128, n_max=192)
+        assert g.name == "PGPgiantcompo"
+        assert is_connected(g)
+
+
+class TestStructuralProfiles:
+    """The stand-ins must look like their paper counterparts' *types*."""
+
+    def test_citation_networks_heavy_tailed(self):
+        g = cn.generate("citationCiteseer", seed=1, divisor=256)
+        deg = g.degrees
+        assert deg.max() > 6 * np.median(deg)
+
+    def test_coauthor_networks_clustered(self):
+        import networkx as nx
+
+        from repro.graphs.builder import to_networkx
+
+        g = cn.generate("coAuthorsDBLP", seed=2, divisor=256)
+        cc = nx.average_clustering(to_networkx(g))
+        assert cc > 0.05  # triad-formation model leaves real clustering
+
+    def test_dense_copapers_have_higher_degree(self):
+        sparse = cn.generate("PGPgiantcompo", seed=3, divisor=256)
+        dense = cn.generate("coPapersDBLP", seed=3, divisor=256)
+        assert dense.degrees.mean() > sparse.degrees.mean()
+
+    def test_router_networks_skewed(self):
+        g = cn.generate("as-skitter", seed=4, divisor=256)
+        deg = g.degrees
+        assert deg.max() >= 5 * deg.mean()

@@ -1,0 +1,119 @@
+"""Tests for the deterministic topology generators."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.algorithms import diameter, is_connected
+from repro.graphs.builder import to_networkx
+
+
+class TestGrid:
+    def test_counts_2d(self):
+        g = gen.grid(4, 5)
+        assert g.n == 20
+        assert g.m == 4 * 4 + 5 * 3  # vertical + horizontal families
+
+    def test_counts_3d(self):
+        g = gen.grid(3, 3, 3)
+        assert g.n == 27
+        assert g.m == 3 * (2 * 3 * 3)
+
+    def test_degenerate_axis(self):
+        g = gen.grid(1, 5)
+        assert g.n == 5 and g.m == 4  # path
+
+    def test_connected(self):
+        assert is_connected(gen.grid(5, 7))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            gen.grid(0, 3)
+
+
+class TestTorus:
+    def test_regular_degree(self):
+        g = gen.torus(4, 4)
+        assert (g.degrees == 4).all()
+        assert g.m == 2 * 16
+
+    def test_extent_two_no_parallel_edges(self):
+        g = gen.torus(2, 4)
+        # extent-2 axis behaves like a grid axis (single edge, not double)
+        assert g.degrees.max() == 3
+
+    def test_3d(self):
+        g = gen.torus(4, 4, 4)
+        assert (g.degrees == 6).all()
+
+    def test_matches_networkx_torus(self):
+        ours = gen.torus(4, 6)
+        ref = nx.grid_graph(dim=[4, 6], periodic=True)
+        assert ours.n == ref.number_of_nodes()
+        assert ours.m == ref.number_of_edges()
+        assert nx.is_isomorphic(to_networkx(ours), ref)
+
+
+class TestCyclePath:
+    def test_cycle(self):
+        g = gen.cycle(8)
+        assert (g.degrees == 2).all() and g.m == 8
+
+    def test_cycle_minimum(self):
+        with pytest.raises(ValueError):
+            gen.cycle(2)
+
+    def test_path(self):
+        g = gen.path(6)
+        assert g.m == 5
+        assert diameter(g) == 5
+
+
+class TestHypercube:
+    @pytest.mark.parametrize("d", [0, 1, 3, 5])
+    def test_counts(self, d):
+        g = gen.hypercube(d)
+        assert g.n == 2**d
+        assert g.m == d * 2 ** (d - 1) if d else g.m == 0
+
+    def test_neighbors_differ_one_bit(self):
+        g = gen.hypercube(4)
+        for u, v, _ in g.edges():
+            assert bin(u ^ v).count("1") == 1
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            gen.hypercube(-1)
+
+
+class TestTrees:
+    def test_random_tree_is_tree(self):
+        for seed in range(5):
+            t = gen.random_tree(50, seed=seed)
+            assert t.m == t.n - 1
+            assert is_connected(t)
+
+    def test_random_tree_tiny(self):
+        assert gen.random_tree(1).n == 1
+        assert gen.random_tree(2).m == 1
+
+    def test_random_tree_deterministic(self):
+        a = gen.random_tree(30, seed=3)
+        b = gen.random_tree(30, seed=3)
+        assert a == b
+
+    def test_complete_binary_tree(self):
+        t = gen.complete_binary_tree(3)
+        assert t.n == 15 and t.m == 14
+        assert t.degree(0) == 2  # root
+
+    def test_star(self):
+        s = gen.star(6)
+        assert s.degree(0) == 6
+        assert (s.degrees[1:] == 1).all()
+
+    def test_caterpillar(self):
+        c = gen.caterpillar(4, 2)
+        assert c.n == 12 and c.m == 11
+        assert is_connected(c)

@@ -1,0 +1,104 @@
+"""Tests for METIS / edge-list I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graphs import generators as gen
+from repro.graphs.builder import from_edges
+from repro.graphs.io import (
+    from_metis_string,
+    read_edgelist,
+    read_metis,
+    to_metis_string,
+    write_edgelist,
+    write_metis,
+)
+
+
+class TestMetis:
+    def test_round_trip_unweighted(self, small_grid):
+        assert from_metis_string(to_metis_string(small_grid)) == small_grid
+
+    def test_round_trip_edge_weights(self, triangle):
+        assert from_metis_string(to_metis_string(triangle)) == triangle
+
+    def test_round_trip_vertex_weights(self):
+        g = from_edges(3, [(0, 1), (1, 2)], vertex_weights=[1.0, 2.0, 3.0])
+        back = from_metis_string(to_metis_string(g))
+        assert back.vertex_weights.tolist() == [1.0, 2.0, 3.0]
+
+    def test_round_trip_both_weights(self):
+        g = from_edges(3, [(0, 1, 2.5), (1, 2, 4.0)], vertex_weights=[2.0, 1.0, 1.0])
+        back = from_metis_string(to_metis_string(g))
+        assert back == g
+
+    def test_header_format_flag(self, triangle):
+        text = to_metis_string(triangle)
+        assert text.splitlines()[0].split()[2] == "01"
+
+    def test_comments_ignored(self):
+        text = "% comment\n2 1\n2\n1\n"
+        g = read_metis(io.StringIO(text))
+        assert g.n == 2 and g.m == 1
+
+    def test_bad_edge_count(self):
+        with pytest.raises(GraphFormatError):
+            from_metis_string("2 5\n2\n1\n")
+
+    def test_missing_lines(self):
+        with pytest.raises(GraphFormatError):
+            from_metis_string("3 1\n2\n1\n")
+
+    def test_neighbor_out_of_range(self):
+        with pytest.raises(GraphFormatError):
+            from_metis_string("2 1\n5\n1\n")
+
+    def test_empty_file(self):
+        with pytest.raises(GraphFormatError):
+            from_metis_string("")
+
+    def test_file_path_round_trip(self, tmp_path, ba_graph):
+        path = tmp_path / "g.graph"
+        write_metis(ba_graph, path)
+        assert read_metis(path) == ba_graph
+
+
+class TestEdgeList:
+    def test_round_trip(self, tmp_path, triangle):
+        path = tmp_path / "g.edges"
+        write_edgelist(triangle, path)
+        assert read_edgelist(path) == triangle
+
+    def test_header_n_honored(self):
+        buf = io.StringIO()
+        g = from_edges(5, [(0, 1)])  # isolated trailing vertices
+        write_edgelist(g, buf)
+        back = read_edgelist(io.StringIO(buf.getvalue()))
+        assert back.n == 5
+
+    def test_explicit_n(self):
+        back = read_edgelist(io.StringIO("0 1\n"), n=4)
+        assert back.n == 4
+
+    def test_comments_and_blank_lines(self):
+        text = "# snap header\n\n0 1 2.0\n# more\n1 2\n"
+        g = read_edgelist(io.StringIO(text))
+        assert g.m == 2
+        assert g.edge_weight(0, 1) == 2.0
+
+    def test_self_loops_dropped(self):
+        g = read_edgelist(io.StringIO("0 0\n0 1\n"))
+        assert g.m == 1
+
+    def test_malformed_line(self):
+        with pytest.raises(GraphFormatError):
+            read_edgelist(io.StringIO("7\n"))
+
+    def test_weighted_round_trip_random(self, tmp_path):
+        g = gen.erdos_renyi(60, 0.1, seed=5)
+        path = tmp_path / "r.edges"
+        write_edgelist(g, path)
+        assert read_edgelist(path) == g

@@ -1,0 +1,139 @@
+"""Tests for the randomized workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.algorithms import is_connected, largest_component
+from repro.graphs.generators.random_graphs import (
+    configuration_model,
+    powerlaw_degree_sequence,
+)
+
+
+class TestErdosRenyi:
+    def test_edge_count_concentrates(self):
+        g = gen.erdos_renyi(400, 0.05, seed=1)
+        expected = 0.05 * 400 * 399 / 2
+        assert 0.8 * expected < g.m < 1.2 * expected
+
+    def test_p_zero_and_one(self):
+        assert gen.erdos_renyi(10, 0.0, seed=1).m == 0
+        assert gen.erdos_renyi(10, 1.0, seed=1).m == 45
+
+    def test_deterministic(self):
+        assert gen.erdos_renyi(50, 0.1, seed=9) == gen.erdos_renyi(50, 0.1, seed=9)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            gen.erdos_renyi(10, 1.5)
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        n, m = 300, 3
+        g = gen.barabasi_albert(n, m, seed=2)
+        assert g.m == m + (n - m - 1) * m  # star seed + m per newcomer
+
+    def test_heavy_tail(self):
+        g = gen.barabasi_albert(1000, 2, seed=3)
+        deg = g.degrees
+        assert deg.max() > 8 * np.median(deg)
+
+    def test_connected(self):
+        assert is_connected(gen.barabasi_albert(200, 2, seed=4))
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            gen.barabasi_albert(5, 5)
+        with pytest.raises(ValueError):
+            gen.barabasi_albert(5, 0)
+
+
+class TestWattsStrogatz:
+    def test_beta_zero_is_ring(self):
+        g = gen.watts_strogatz(30, 4, 0.0, seed=5)
+        assert (g.degrees == 4).all()
+        assert g.m == 60
+
+    def test_edge_count_preserved(self):
+        g = gen.watts_strogatz(100, 6, 0.3, seed=6)
+        assert g.m == 300
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            gen.watts_strogatz(10, 3, 0.1)
+        with pytest.raises(ValueError):
+            gen.watts_strogatz(10, 12, 0.1)
+
+
+class TestPowerlawCluster:
+    def test_structure(self):
+        g = gen.powerlaw_cluster(400, 3, 0.5, seed=7)
+        assert g.n == 400
+        # about m edges per newcomer
+        assert g.m >= 2 * (400 - 4)
+
+    def test_clustering_above_ba(self):
+        import networkx as nx
+
+        from repro.graphs.builder import to_networkx
+
+        plc = gen.powerlaw_cluster(400, 3, 0.9, seed=8)
+        ba = gen.barabasi_albert(400, 3, seed=8)
+        assert nx.average_clustering(to_networkx(plc)) > nx.average_clustering(
+            to_networkx(ba)
+        )
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            gen.powerlaw_cluster(10, 0, 0.5)
+        with pytest.raises(ValueError):
+            gen.powerlaw_cluster(10, 2, 1.5)
+
+
+class TestConfigurationModel:
+    def test_degree_sum_even_required(self):
+        with pytest.raises(ValueError):
+            configuration_model([1, 1, 1])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            configuration_model([-1, 1])
+
+    def test_degrees_approximate(self):
+        seq = powerlaw_degree_sequence(500, 2.3, 2, seed=10)
+        g = configuration_model(seq, seed=10)
+        # erased model loses a few stubs but the bulk must match
+        assert abs(g.degrees.sum() - seq.sum()) / seq.sum() < 0.2
+
+    def test_powerlaw_sequence_bounds(self):
+        seq = powerlaw_degree_sequence(200, 2.0, 3, max_degree=20, seed=11)
+        assert seq.min() >= 3
+        assert seq.max() <= 21  # +1 parity adjustment allowed
+        assert seq.sum() % 2 == 0
+
+    def test_sequence_invalid(self):
+        with pytest.raises(ValueError):
+            powerlaw_degree_sequence(10, 0.5, 2)
+
+
+class TestRmat:
+    def test_size(self):
+        g = gen.rmat(8, 8, seed=12)
+        assert g.n == 256
+        assert g.m > 0
+
+    def test_skew(self):
+        g = gen.rmat(10, 8, seed=13)
+        giant, _ = largest_component(g)
+        deg = giant.degrees
+        assert deg.max() > 5 * np.median(deg[deg > 0])
+
+    def test_invalid_probs(self):
+        with pytest.raises(ValueError):
+            gen.rmat(5, 4, a=0.6, b=0.3, c=0.2)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            gen.rmat(0, 4)

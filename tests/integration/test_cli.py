@@ -1,0 +1,96 @@
+"""Tests for the top-level file-based CLI."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graphs import generators as gen
+from repro.graphs.io import write_metis
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    g = gen.barabasi_albert(200, 3, seed=1)
+    path = tmp_path / "app.graph"
+    write_metis(g, path)
+    return str(path)
+
+
+@pytest.fixture
+def torus_file(tmp_path):
+    g = gen.torus(4, 4)
+    path = tmp_path / "torus.graph"
+    write_metis(g, path)
+    return str(path)
+
+
+class TestInfoRecognize:
+    def test_info(self, graph_file, capsys):
+        assert main(["info", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "vertices: 200" in out
+
+    def test_recognize_positive(self, torus_file, capsys):
+        assert main(["recognize", torus_file]) == 0
+        assert "dimension 4" in capsys.readouterr().out
+
+    def test_recognize_labels(self, torus_file, capsys):
+        assert main(["recognize", torus_file, "--labels"]) == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == 1 + 16
+
+    def test_recognize_negative(self, graph_file, capsys):
+        assert main(["recognize", graph_file]) == 1
+        assert "NOT a partial cube" in capsys.readouterr().out
+
+
+class TestPartitionMapEnhance:
+    def test_partition_to_file(self, graph_file, tmp_path):
+        out = tmp_path / "part.txt"
+        assert main(["partition", graph_file, "8", "-o", str(out)]) == 0
+        values = [int(x) for x in out.read_text().split()]
+        assert len(values) == 200
+        assert set(values) == set(range(8))
+
+    def test_map_by_topology_name(self, graph_file, tmp_path):
+        out = tmp_path / "mu.txt"
+        assert main(["map", graph_file, "grid4x4", "--case", "c3", "-o", str(out)]) == 0
+        values = [int(x) for x in out.read_text().split()]
+        assert len(values) == 200 and max(values) < 16
+
+    def test_map_by_topology_file(self, graph_file, torus_file, tmp_path):
+        out = tmp_path / "mu.txt"
+        assert main(["map", graph_file, torus_file, "-o", str(out)]) == 0
+        assert len(out.read_text().split()) == 200
+
+    def test_enhance_round_trip(self, graph_file, tmp_path, capsys):
+        mu_file = tmp_path / "mu.txt"
+        out_file = tmp_path / "mu2.txt"
+        main(["map", graph_file, "grid4x4", "-o", str(mu_file)])
+        rc = main(
+            ["enhance", graph_file, "grid4x4", str(mu_file),
+             "--nh", "4", "-o", str(out_file)]
+        )
+        assert rc == 0
+        before = [int(x) for x in mu_file.read_text().split()]
+        after = [int(x) for x in out_file.read_text().split()]
+        assert sorted(np.bincount(before, minlength=16)) == sorted(
+            np.bincount(after, minlength=16)
+        )
+        assert "Coco" in capsys.readouterr().err
+
+    def test_enhance_kl_strategy(self, graph_file, tmp_path):
+        mu_file = tmp_path / "mu.txt"
+        main(["map", graph_file, "grid4x4", "-o", str(mu_file)])
+        rc = main(
+            ["enhance", graph_file, "grid4x4", str(mu_file),
+             "--nh", "2", "--strategy", "kl", "-o", str(tmp_path / "o.txt")]
+        )
+        assert rc == 0
+
+    def test_enhance_bad_mu_length(self, graph_file, tmp_path, capsys):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("0\n1\n")
+        rc = main(["enhance", graph_file, "grid4x4", str(bad), "--nh", "1"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err

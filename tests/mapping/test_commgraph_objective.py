@@ -1,0 +1,115 @@
+"""Tests for communication graphs and the Coco objective."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MappingError
+from repro.graphs import generators as gen
+from repro.graphs.builder import from_edges
+from repro.mapping.commgraph import build_communication_graph
+from repro.mapping.objective import (
+    average_dilation,
+    coco,
+    coco_from_distances,
+    coco_from_labels,
+    congestion_estimate,
+    maximum_dilation,
+    network_cost_matrix,
+)
+from repro.partialcube.djokovic import partial_cube_labeling
+from repro.partitioning.partition import Partition
+
+
+class TestCommGraph:
+    def test_figure1_example(self):
+        """Paper Figure 1: contraction aggregates cross-block weights."""
+        # 4 blocks of a small graph with known cross weights.
+        g = from_edges(
+            8,
+            [
+                (0, 1), (2, 3), (4, 5), (6, 7),  # intra-block
+                (0, 2), (1, 3),                   # blocks 0-1: weight 2
+                (2, 4), (3, 5), (2, 5),           # blocks 1-2: weight 3
+                (5, 7),                           # blocks 2-3: weight 1
+            ],
+        )
+        part = Partition(g, np.asarray([0, 0, 1, 1, 2, 2, 3, 3]), 4)
+        gc = build_communication_graph(part)
+        assert gc.n == 4
+        assert gc.edge_weight(0, 1) == 2.0
+        assert gc.edge_weight(1, 2) == 3.0
+        assert gc.edge_weight(2, 3) == 1.0
+        assert not gc.has_edge(0, 3)
+
+    def test_vertex_weights_are_block_weights(self, ba_graph):
+        part = Partition(ba_graph, np.arange(ba_graph.n) % 5, 5)
+        gc = build_communication_graph(part)
+        assert np.allclose(gc.vertex_weights, part.block_weights())
+
+    def test_empty_blocks_isolated(self, triangle):
+        part = Partition(triangle, np.zeros(3, dtype=np.int64), 3)
+        gc = build_communication_graph(part)
+        assert gc.n == 3 and gc.m == 0
+
+
+class TestCoco:
+    def test_same_pe_zero(self, small_grid):
+        ga = gen.path(4)
+        mu = np.zeros(4, dtype=np.int64)
+        assert coco(ga, small_grid, mu) == 0.0
+
+    def test_hand_computed(self):
+        ga = from_edges(3, [(0, 1, 2.0), (1, 2, 5.0)])
+        gp = gen.path(3)
+        mu = np.asarray([0, 2, 1])
+        # edge (0,1): w=2, d(0,2)=2 -> 4 ; edge (1,2): w=5, d(2,1)=1 -> 5
+        assert coco(ga, gp, mu) == 9.0
+
+    def test_matches_label_evaluation(self, small_grid, ba_graph):
+        pc = partial_cube_labeling(small_grid)
+        rng = np.random.default_rng(1)
+        mu = rng.integers(0, small_grid.n, ba_graph.n)
+        by_dist = coco(ga=ba_graph, gp=small_grid, mu=mu)
+        by_labels = coco_from_labels(ba_graph, pc.labels[mu])
+        assert np.isclose(by_dist, by_labels)
+
+    def test_out_of_range_mu(self, small_grid):
+        ga = gen.path(3)
+        with pytest.raises(MappingError):
+            coco(ga, small_grid, np.asarray([0, 1, 99]))
+
+    def test_ncm_is_distance_matrix(self, small_torus):
+        ncm = network_cost_matrix(small_torus)
+        assert ncm.shape == (16, 16)
+        assert (np.diag(ncm) == 0).all()
+        assert ncm.max() == 4  # 4x4 torus diameter = 2 + 2
+
+
+class TestDilationCongestion:
+    def test_average_dilation_weighted(self):
+        ga = from_edges(3, [(0, 1, 1.0), (1, 2, 3.0)])
+        gp = gen.path(4)
+        mu = np.asarray([0, 1, 3])
+        # dilations: 1 (w 1) and 2 (w 3) -> (1*1 + 3*2) / 4
+        assert np.isclose(average_dilation(ga, gp, mu), 7 / 4)
+
+    def test_maximum_dilation(self):
+        ga = from_edges(3, [(0, 1), (1, 2)])
+        gp = gen.path(5)
+        mu = np.asarray([0, 4, 3])
+        assert maximum_dilation(ga, gp, mu) == 4
+
+    def test_max_dilation_empty(self):
+        ga = from_edges(2, [])
+        assert maximum_dilation(ga, gen.path(3), np.asarray([0, 1])) == 0
+
+    def test_congestion_path(self):
+        # Two unit flows 0->2 on a path share the middle edges.
+        ga = from_edges(4, [(0, 1, 1.0), (2, 3, 1.0)])
+        gp = gen.path(3)
+        mu = np.asarray([0, 2, 0, 2])
+        assert congestion_estimate(ga, gp, mu) == 2.0
+
+    def test_congestion_zero_when_local(self, small_grid):
+        ga = gen.path(4)
+        assert congestion_estimate(ga, small_grid, np.zeros(4, dtype=np.int64)) == 0.0

@@ -1,0 +1,131 @@
+"""Tests for the initial-mapping algorithms (cases c1-c4)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MappingError
+from repro.graphs import generators as gen
+from repro.mapping.commgraph import build_communication_graph
+from repro.mapping.drb import drb_mapping
+from repro.mapping.greedy import greedy_all_c, greedy_min
+from repro.mapping.identity import identity_mapping
+from repro.mapping.mapper import (
+    available_algorithms,
+    compute_initial_mapping,
+    vertex_mapping_from_blocks,
+)
+from repro.mapping.objective import coco, coco_from_distances, network_cost_matrix
+from repro.partitioning.kway import partition_kway
+from repro.partitioning.partition import Partition
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ga = gen.barabasi_albert(600, 3, seed=5)
+    gp = gen.grid(4, 4)
+    part = partition_kway(ga, gp.n, seed=5)
+    gc = build_communication_graph(part)
+    return ga, gp, part, gc
+
+
+class TestIdentity:
+    def test_maps_block_to_same_pe(self, setup):
+        ga, gp, part, _ = setup
+        mu = identity_mapping(part, gp)
+        assert np.array_equal(mu, part.assignment)
+
+    def test_size_mismatch(self, setup):
+        ga, gp, part, _ = setup
+        with pytest.raises(MappingError):
+            identity_mapping(part, gen.grid(2, 2))
+
+
+class TestGreedy:
+    def test_all_c_bijective(self, setup):
+        _, gp, _, gc = setup
+        nu = greedy_all_c(gc, gp)
+        assert sorted(nu.tolist()) == list(range(gp.n))
+
+    def test_min_bijective(self, setup):
+        _, gp, _, gc = setup
+        nu = greedy_min(gc, gp)
+        assert sorted(nu.tolist()) == list(range(gp.n))
+
+    def test_beats_random_mapping(self, setup):
+        ga, gp, part, gc = setup
+        dist = network_cost_matrix(gp)
+        rng = np.random.default_rng(0)
+        random_costs = []
+        for _ in range(5):
+            nu = rng.permutation(gp.n)
+            random_costs.append(
+                coco_from_distances(ga, nu[part.assignment], dist)
+            )
+        for algo in (greedy_all_c, greedy_min):
+            nu = algo(gc, gp, dist)
+            cost = coco_from_distances(ga, nu[part.assignment], dist)
+            assert cost < np.mean(random_costs)
+
+    def test_too_many_blocks(self, setup):
+        _, _, _, gc = setup
+        with pytest.raises(MappingError):
+            greedy_all_c(gc, gen.grid(2, 2))
+
+
+class TestDrb:
+    def test_bijective(self, setup):
+        _, gp, _, gc = setup
+        nu = drb_mapping(gc, gp, seed=1)
+        assert sorted(nu.tolist()) == list(range(gp.n))
+
+    def test_deterministic(self, setup):
+        _, gp, _, gc = setup
+        assert np.array_equal(drb_mapping(gc, gp, seed=2), drb_mapping(gc, gp, seed=2))
+
+    def test_beats_random(self, setup):
+        ga, gp, part, gc = setup
+        dist = network_cost_matrix(gp)
+        rng = np.random.default_rng(1)
+        random_cost = np.mean(
+            [
+                coco_from_distances(ga, rng.permutation(gp.n)[part.assignment], dist)
+                for _ in range(5)
+            ]
+        )
+        nu = drb_mapping(gc, gp, seed=3)
+        assert coco_from_distances(ga, nu[part.assignment], dist) < random_cost
+
+
+class TestMapperDriver:
+    def test_registry_has_four_cases(self):
+        assert set(available_algorithms()) == {"c1", "c2", "c3", "c4"}
+
+    @pytest.mark.parametrize("case", ["c1", "c2", "c3", "c4"])
+    def test_each_case_runs(self, setup, case):
+        ga, gp, part, _ = setup
+        mu, secs = compute_initial_mapping(case, part, gp, seed=4)
+        assert mu.shape == (ga.n,)
+        assert secs >= 0
+        assert mu.min() >= 0 and mu.max() < gp.n
+
+    def test_unknown_case(self, setup):
+        ga, gp, part, _ = setup
+        with pytest.raises(MappingError):
+            compute_initial_mapping("c9", part, gp)
+
+    def test_vertex_expansion(self, setup):
+        ga, gp, part, _ = setup
+        nu = np.arange(gp.n, dtype=np.int64)[::-1].copy()
+        mu = vertex_mapping_from_blocks(part, nu)
+        assert np.array_equal(mu, nu[part.assignment])
+
+    def test_expansion_shape_check(self, setup):
+        _, _, part, _ = setup
+        with pytest.raises(MappingError):
+            vertex_mapping_from_blocks(part, np.asarray([0, 1]))
+
+    def test_k_mismatch(self, setup):
+        ga, gp, part, _ = setup
+        small = gen.grid(2, 2)
+        with pytest.raises(MappingError):
+            compute_initial_mapping("c2", part, small)

@@ -1,0 +1,107 @@
+"""Tests for NCM-based pairwise-exchange refinement."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MappingError
+from repro.graphs import generators as gen
+from repro.mapping.commgraph import build_communication_graph
+from repro.mapping.objective import coco_from_distances, network_cost_matrix
+from repro.mapping.refine import ncm_swap_refine, swap_gain
+from repro.partitioning.kway import partition_kway
+from repro.partitioning.partition import Partition
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ga = gen.barabasi_albert(500, 3, seed=8)
+    gp = gen.grid(4, 4)
+    part = partition_kway(ga, gp.n, seed=8)
+    gc = build_communication_graph(part)
+    dist = network_cost_matrix(gp)
+    return ga, gp, part, gc, dist
+
+
+def _coco_of_nu(ga, part, dist, nu):
+    return coco_from_distances(ga, nu[part.assignment], dist)
+
+
+class TestSwapGain:
+    def test_gain_matches_recomputation(self, setup):
+        ga, gp, part, gc, dist = setup
+        rng = np.random.default_rng(0)
+        nu = rng.permutation(gp.n)
+        before = _coco_of_nu(ga, part, dist, nu)
+        for a, b in [(0, 5), (3, 12), (7, 8)]:
+            g = swap_gain(gc, dist, nu, a, b)
+            swapped = nu.copy()
+            swapped[a], swapped[b] = swapped[b], swapped[a]
+            after = _coco_of_nu(ga, part, dist, swapped)
+            assert np.isclose(before - after, g), (a, b)
+
+    def test_same_pe_zero(self, setup):
+        _, _, _, gc, dist = setup
+        nu = np.arange(gc.n)
+        nu[1] = nu[0]  # artificial degenerate case
+        assert swap_gain(gc, dist, nu, 0, 1) == 0.0
+
+
+class TestRefine:
+    def test_never_worse(self, setup):
+        ga, gp, part, gc, dist = setup
+        rng = np.random.default_rng(1)
+        nu = rng.permutation(gp.n)
+        before = _coco_of_nu(ga, part, dist, nu)
+        out = ncm_swap_refine(gc, gp, nu, dist=dist)
+        after = _coco_of_nu(ga, part, dist, out)
+        assert after <= before
+
+    def test_improves_random_start(self, setup):
+        ga, gp, part, gc, dist = setup
+        rng = np.random.default_rng(2)
+        nu = rng.permutation(gp.n)
+        out = ncm_swap_refine(gc, gp, nu, dist=dist)
+        assert _coco_of_nu(ga, part, dist, out) < _coco_of_nu(ga, part, dist, nu)
+
+    def test_stays_bijective(self, setup):
+        _, gp, _, gc, dist = setup
+        rng = np.random.default_rng(3)
+        nu = rng.permutation(gp.n)
+        out = ncm_swap_refine(gc, gp, nu, dist=dist)
+        assert sorted(out.tolist()) == list(range(gp.n))
+
+    def test_input_not_mutated(self, setup):
+        _, gp, _, gc, dist = setup
+        nu = np.arange(gp.n)
+        snapshot = nu.copy()
+        ncm_swap_refine(gc, gp, nu, dist=dist)
+        assert np.array_equal(nu, snapshot)
+
+    def test_radius_all_pairs(self, setup):
+        ga, gp, part, gc, dist = setup
+        rng = np.random.default_rng(4)
+        nu = rng.permutation(gp.n)
+        local = ncm_swap_refine(gc, gp, nu, dist=dist, radius=1)
+        global_ = ncm_swap_refine(gc, gp, nu, dist=dist, radius=99)
+        assert _coco_of_nu(ga, part, dist, global_) <= _coco_of_nu(
+            ga, part, dist, local
+        ) * 1.05
+
+    def test_shape_validation(self, setup):
+        _, gp, _, gc, dist = setup
+        with pytest.raises(MappingError):
+            ncm_swap_refine(gc, gp, np.arange(3), dist=dist)
+
+    def test_works_on_non_partial_cube(self):
+        """NCM refinement needs no partial-cube property (e.g. odd torus)."""
+        ga = gen.barabasi_albert(300, 3, seed=5)
+        gp = gen.torus(3, 5)  # NOT a partial cube
+        part = partition_kway(ga, gp.n, seed=5)
+        gc = build_communication_graph(part)
+        dist = network_cost_matrix(gp)
+        rng = np.random.default_rng(6)
+        nu = rng.permutation(gp.n)
+        out = ncm_swap_refine(gc, gp, nu, dist=dist)
+        assert coco_from_distances(ga, out[part.assignment], dist) <= (
+            coco_from_distances(ga, nu[part.assignment], dist)
+        )

@@ -1,0 +1,68 @@
+"""Tests for the consolidated mapping quality report."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.builder import from_edges
+from repro.mapping.objective import coco
+from repro.mapping.report import MappingQualityReport, compare_reports, quality_report
+
+
+@pytest.fixture
+def setup():
+    ga = gen.barabasi_albert(200, 3, seed=9)
+    gp = gen.grid(4, 4)
+    rng = np.random.default_rng(10)
+    mu = rng.integers(0, gp.n, ga.n)
+    return ga, gp, mu
+
+
+class TestQualityReport:
+    def test_coco_matches_reference(self, setup):
+        ga, gp, mu = setup
+        rep = quality_report(ga, gp, mu)
+        assert np.isclose(rep.coco, coco(ga, gp, mu))
+
+    def test_avg_dilation_consistent(self, setup):
+        ga, gp, mu = setup
+        rep = quality_report(ga, gp, mu)
+        total_w = sum(w for _, _, w in ga.edges())
+        assert np.isclose(rep.avg_dilation, rep.coco / total_w)
+
+    def test_used_pes(self, setup):
+        ga, gp, _ = setup
+        rep = quality_report(ga, gp, np.zeros(ga.n, dtype=np.int64))
+        assert rep.n_used_pes == 1
+        assert rep.coco == 0.0
+        assert rep.max_dilation == 0
+
+    def test_skip_congestion(self, setup):
+        ga, gp, mu = setup
+        rep = quality_report(ga, gp, mu, with_congestion=False)
+        assert np.isnan(rep.congestion)
+
+    def test_hand_example(self):
+        ga = from_edges(2, [(0, 1, 3.0)])
+        gp = gen.path(4)
+        rep = quality_report(ga, gp, np.asarray([0, 3]))
+        assert rep.coco == 9.0
+        assert rep.max_dilation == 3
+        assert rep.cut == 3.0
+        assert rep.congestion == 3.0  # the single flow loads each hop with 3
+
+
+class TestCompareReports:
+    def test_relative_changes(self):
+        a = MappingQualityReport(100, 10, 2.0, 4, 8.0, 16)
+        b = MappingQualityReport(80, 12, 1.6, 4, 8.0, 16)
+        delta = compare_reports(a, b)
+        assert np.isclose(delta["coco"], -0.2)
+        assert np.isclose(delta["cut"], 0.2)
+        assert delta["congestion"] == 0.0
+
+    def test_zero_baseline(self):
+        a = MappingQualityReport(0, 0, 0.0, 0, 0.0, 1)
+        b = MappingQualityReport(5, 5, 1.0, 1, 1.0, 2)
+        delta = compare_reports(a, b)
+        assert delta["coco"] == 0.0  # guarded division

@@ -1,0 +1,81 @@
+"""Tests for permutation hierarchies (paper section 2, Figure 2)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+from repro.partialcube.djokovic import partial_cube_labeling
+from repro.partialcube.hierarchy import (
+    LabelHierarchy,
+    hierarchy_from_permutation,
+    identity_permutation,
+    opposite_permutation,
+)
+
+
+@pytest.fixture
+def hq4_labels():
+    g = gen.hypercube(4)
+    lab = partial_cube_labeling(g)
+    return lab.labels, lab.dim
+
+
+class TestStructure:
+    def test_level_counts_figure2(self, hq4_labels):
+        """Figure 2: the 4-D hypercube hierarchy has 1,2,4,8,16 parts."""
+        labels, dim = hq4_labels
+        h = hierarchy_from_permutation(labels, dim, identity_permutation(dim))
+        assert [h.n_parts(i) for i in range(dim + 1)] == [1, 2, 4, 8, 16]
+
+    def test_opposite_hierarchy_also_binary(self, hq4_labels):
+        labels, dim = hq4_labels
+        h = hierarchy_from_permutation(labels, dim, opposite_permutation(dim))
+        assert [h.n_parts(i) for i in range(dim + 1)] == [1, 2, 4, 8, 16]
+
+    def test_hierarchies_differ(self, hq4_labels):
+        labels, dim = hq4_labels
+        h_id = hierarchy_from_permutation(labels, dim, identity_permutation(dim))
+        h_op = hierarchy_from_permutation(labels, dim, opposite_permutation(dim))
+        assert not np.array_equal(h_id.group_ids[1], h_op.group_ids[1])
+
+    def test_refinement_chain(self, hq4_labels):
+        """Each level refines the previous (parts nest)."""
+        labels, dim = hq4_labels
+        h = hierarchy_from_permutation(labels, dim, seed=3)
+        for i in range(1, dim + 1):
+            coarse = h.group_ids[i - 1]
+            fine = h.group_ids[i]
+            # same fine id -> same coarse id
+            for gid in np.unique(fine):
+                members = np.nonzero(fine == gid)[0]
+                assert len(np.unique(coarse[members])) == 1
+
+    def test_partition_returns_all_vertices(self, hq4_labels):
+        labels, dim = hq4_labels
+        h = hierarchy_from_permutation(labels, dim, seed=1)
+        parts = h.partition(2)
+        assert sorted(np.concatenate(parts).tolist()) == list(range(16))
+
+    def test_parent_of_part(self, hq4_labels):
+        labels, dim = hq4_labels
+        h = hierarchy_from_permutation(labels, dim, identity_permutation(dim))
+        assert h.parent_of_part(2, 0b10) == 0b1
+        with pytest.raises(IndexError):
+            h.parent_of_part(0, 0)
+
+    def test_level_out_of_range(self, hq4_labels):
+        labels, dim = hq4_labels
+        h = hierarchy_from_permutation(labels, dim, seed=1)
+        with pytest.raises(IndexError):
+            h.partition(dim + 1)
+
+    def test_bad_perm_rejected(self, hq4_labels):
+        labels, dim = hq4_labels
+        with pytest.raises(ValueError):
+            hierarchy_from_permutation(labels, dim, np.asarray([0, 0, 1, 2]))
+
+    def test_grid_hierarchy_leaves_singletons(self):
+        g = gen.grid(4, 4)
+        lab = partial_cube_labeling(g)
+        h = hierarchy_from_permutation(lab.labels, lab.dim, seed=5)
+        assert h.n_parts(lab.dim) == g.n  # labels unique on Vp

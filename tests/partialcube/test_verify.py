@@ -1,0 +1,34 @@
+"""Tests for labeling verification."""
+
+import numpy as np
+
+from repro.graphs import generators as gen
+from repro.partialcube.djokovic import partial_cube_labeling
+from repro.partialcube.verify import labeling_distance_error, verify_labeling
+
+
+def test_valid_labeling_verifies(small_grid):
+    lab = partial_cube_labeling(small_grid)
+    assert verify_labeling(small_grid, lab.labels)
+    assert labeling_distance_error(small_grid, lab.labels) == 0
+
+
+def test_corrupted_labeling_detected(small_grid):
+    lab = partial_cube_labeling(small_grid)
+    bad = lab.labels.copy()
+    bad[0] ^= 1
+    assert not verify_labeling(small_grid, bad)
+    assert labeling_distance_error(small_grid, bad) > 0
+
+
+def test_hypercube_identity_labels():
+    g = gen.hypercube(4)
+    # Vertex ids ARE valid labels for the hypercube by construction.
+    assert verify_labeling(g, np.arange(16, dtype=np.int64))
+
+
+def test_wrong_shape_raises(small_grid):
+    import pytest
+
+    with pytest.raises(ValueError):
+        verify_labeling(small_grid, np.zeros(3, dtype=np.int64))

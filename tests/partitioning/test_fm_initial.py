@@ -1,0 +1,82 @@
+"""Tests for greedy initial bisection and FM refinement."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.builder import from_edges
+from repro.partitioning.fm import fm_refine
+from repro.partitioning.initial import grow_bisection, random_bisection
+from repro.partitioning.metrics import edge_cut
+
+
+class TestGrowBisection:
+    def test_respects_target_roughly(self, ba_graph):
+        total = ba_graph.vertex_weights.sum()
+        assign = grow_bisection(ba_graph, total / 2, seed=1)
+        w0 = ba_graph.vertex_weights[assign == 0].sum()
+        assert 0.3 * total < w0 < 0.7 * total
+
+    def test_two_sides_nonempty(self, ba_graph):
+        assign = grow_bisection(ba_graph, ba_graph.vertex_weights.sum() / 2, seed=2)
+        assert (assign == 0).any() and (assign == 1).any()
+
+    def test_empty_graph(self):
+        assert grow_bisection(from_edges(0, []), 1.0).size == 0
+
+    def test_path_cut_is_small(self):
+        g = gen.path(40)
+        assign = grow_bisection(g, 20.0, seed=3, attempts=8)
+        assert edge_cut(g, assign) <= 3
+
+
+class TestRandomBisection:
+    def test_weight_target(self, ba_graph):
+        assign = random_bisection(ba_graph, 100.0, seed=4)
+        w0 = ba_graph.vertex_weights[assign == 0].sum()
+        assert 90 <= w0 <= 110
+
+
+class TestFmRefine:
+    def test_never_worse(self, ba_graph):
+        rng = np.random.default_rng(5)
+        assign = rng.integers(0, 2, ba_graph.n)
+        before = edge_cut(ba_graph, assign)
+        total = ba_graph.vertex_weights.sum()
+        out = fm_refine(ba_graph, assign, (0.6 * total, 0.6 * total))
+        assert edge_cut(ba_graph, out) <= before
+
+    def test_input_not_mutated(self, ba_graph):
+        assign = np.zeros(ba_graph.n, dtype=np.int64)
+        assign[::2] = 1
+        snapshot = assign.copy()
+        total = ba_graph.vertex_weights.sum()
+        fm_refine(ba_graph, assign, (0.6 * total, 0.6 * total))
+        assert np.array_equal(assign, snapshot)
+
+    def test_respects_balance_cap(self, ba_graph):
+        rng = np.random.default_rng(6)
+        assign = rng.integers(0, 2, ba_graph.n)
+        total = ba_graph.vertex_weights.sum()
+        cap = (0.55 * total, 0.55 * total)
+        out = fm_refine(ba_graph, assign, cap)
+        w0 = ba_graph.vertex_weights[out == 0].sum()
+        w1 = total - w0
+        assert w0 <= cap[0] + 1e-9 and w1 <= cap[1] + 1e-9
+
+    def test_finds_obvious_cut(self):
+        # Two cliques joined by one edge; start from a bad split.
+        edges = []
+        for i in range(5):
+            for j in range(i + 1, 5):
+                edges.append((i, j, 10.0))
+                edges.append((5 + i, 5 + j, 10.0))
+        edges.append((0, 5, 1.0))
+        g = from_edges(10, edges)
+        bad = np.asarray([0, 1, 0, 1, 0, 1, 0, 1, 0, 1])
+        out = fm_refine(g, bad, (6.0, 6.0), max_passes=20)
+        assert edge_cut(g, out) == 1.0
+
+    def test_empty_graph(self):
+        g = from_edges(0, [])
+        assert fm_refine(g, np.empty(0, dtype=np.int64), (1.0, 1.0)).size == 0

@@ -1,0 +1,112 @@
+"""Tests for multilevel bisection, k-way partitioning and rebalancing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import BalanceError
+from repro.graphs import generators as gen
+from repro.partitioning.kway import partition_kway
+from repro.partitioning.metrics import edge_cut
+from repro.partitioning.multilevel import bisect_multilevel
+from repro.partitioning.partition import Partition
+from repro.partitioning.rebalance import balance_limit, rebalance
+
+
+class TestBisectMultilevel:
+    def test_balanced_halves(self, ba_graph):
+        assign = bisect_multilevel(ba_graph, seed=1)
+        w0 = (assign == 0).sum()
+        assert abs(w0 - ba_graph.n / 2) <= 0.05 * ba_graph.n
+
+    def test_uneven_fraction(self, ba_graph):
+        assign = bisect_multilevel(ba_graph, weight_fraction_0=0.25, seed=2)
+        w0 = (assign == 0).sum()
+        assert abs(w0 - ba_graph.n / 4) <= 0.06 * ba_graph.n
+
+    def test_better_than_random(self, ba_graph):
+        rng = np.random.default_rng(3)
+        random_cut = edge_cut(ba_graph, rng.integers(0, 2, ba_graph.n))
+        ml_cut = edge_cut(ba_graph, bisect_multilevel(ba_graph, seed=3))
+        assert ml_cut < random_cut
+
+    def test_grid_bisection_near_optimal(self):
+        g = gen.grid(8, 8)
+        assign = bisect_multilevel(g, seed=4)
+        assert edge_cut(g, assign) <= 12  # optimal is 8
+
+    def test_invalid_fraction(self, ba_graph):
+        with pytest.raises(ValueError):
+            bisect_multilevel(ba_graph, weight_fraction_0=1.5)
+
+    def test_tiny_graphs(self):
+        assert bisect_multilevel(gen.path(1)).tolist() == [0]
+        out = bisect_multilevel(gen.path(2), seed=5)
+        assert sorted(out.tolist()) == [0, 1]
+
+
+class TestPartitionKway:
+    @pytest.mark.parametrize("k", [2, 5, 16, 64])
+    def test_balance_eq1(self, ba_graph, k):
+        part = partition_kway(ba_graph, k, epsilon=0.03, seed=7)
+        part.check_balance(0.03)
+        assert part.k == k
+
+    def test_k1_trivial(self, ba_graph):
+        part = partition_kway(ba_graph, 1)
+        assert part.edge_cut() == 0.0
+
+    def test_invalid_k(self, ba_graph):
+        with pytest.raises(ValueError):
+            partition_kway(ba_graph, 0)
+
+    def test_all_blocks_used(self, ba_graph):
+        part = partition_kway(ba_graph, 16, seed=8)
+        assert len(np.unique(part.assignment)) == 16
+
+    def test_deterministic_under_seed(self, ba_graph):
+        a = partition_kway(ba_graph, 8, seed=9)
+        b = partition_kway(ba_graph, 8, seed=9)
+        assert np.array_equal(a.assignment, b.assignment)
+
+    def test_quality_sane_on_grid(self):
+        g = gen.grid(16, 16)
+        part = partition_kway(g, 16, seed=10)
+        # 16 blocks of 16 on a 16x16 grid: a sane partitioner stays well
+        # under the random-assignment cut (~450).
+        assert part.edge_cut() < 150
+
+    @settings(max_examples=10, deadline=None)
+    @given(k=st.integers(min_value=2, max_value=24), seed=st.integers(0, 1000))
+    def test_property_balance_holds(self, k, seed):
+        g = gen.barabasi_albert(200, 3, seed=123)
+        part = partition_kway(g, k, epsilon=0.03, seed=seed)
+        part.check_balance(0.03)
+
+
+class TestRebalance:
+    def test_fixes_overload(self, ba_graph):
+        # Dump everything in block 0, then rebalance to 4 blocks.
+        part = Partition(ba_graph, np.zeros(ba_graph.n, dtype=np.int64), 4)
+        fixed = rebalance(part, epsilon=0.03)
+        fixed.check_balance(0.03)
+
+    def test_noop_when_balanced(self, ba_graph):
+        part = partition_kway(ba_graph, 4, epsilon=0.03, seed=11)
+        again = rebalance(part, epsilon=0.03)
+        assert np.array_equal(again.assignment, part.assignment)
+
+    def test_limit_formula(self, ba_graph):
+        assert balance_limit(ba_graph, 4, 0.0) == np.ceil(ba_graph.n / 4)
+
+    def test_infeasible_raises(self):
+        g = gen.path(2)
+        heavy = Partition(
+            gen.grid(2, 1), np.asarray([0, 0]), 2
+        )  # both on block 0 with weight fine -> feasible; build infeasible:
+        from repro.graphs.builder import from_edges
+
+        g2 = from_edges(2, [(0, 1)], vertex_weights=[10.0, 1.0])
+        part = Partition(g2, np.asarray([0, 0]), 2)
+        with pytest.raises(BalanceError):
+            rebalance(part, epsilon=0.0)

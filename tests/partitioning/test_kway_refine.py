@@ -1,0 +1,65 @@
+"""Tests for direct k-way boundary refinement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import generators as gen
+from repro.partitioning.kway import partition_kway
+from repro.partitioning.kway_refine import kway_refine
+from repro.partitioning.partition import Partition
+
+
+class TestKwayRefine:
+    def test_never_worse(self, ba_graph):
+        rng = np.random.default_rng(1)
+        part = Partition(ba_graph, rng.integers(0, 8, ba_graph.n), 8)
+        refined = kway_refine(part, epsilon=0.1)
+        assert refined.edge_cut() <= part.edge_cut()
+
+    def test_respects_balance_cap(self, ba_graph):
+        rng = np.random.default_rng(2)
+        part = Partition(ba_graph, (np.arange(ba_graph.n) % 8), 8)
+        refined = kway_refine(part, epsilon=0.03)
+        refined.check_balance(0.03)
+
+    def test_improves_random_assignment_substantially(self, ba_graph):
+        rng = np.random.default_rng(3)
+        part = Partition(ba_graph, rng.integers(0, 4, ba_graph.n), 4)
+        refined = kway_refine(part, epsilon=0.25, max_passes=8)
+        assert refined.edge_cut() < 0.9 * part.edge_cut()
+
+    def test_fixed_point_of_good_partition(self):
+        """A clean quadrant partition of a grid is locally optimal."""
+        g = gen.grid(4, 4)
+        assign = np.asarray([(v // 8) * 2 + ((v % 4) // 2) for v in range(16)])
+        part = Partition(g, assign, 4)
+        refined = kway_refine(part, epsilon=0.0)
+        assert refined.edge_cut() == part.edge_cut()
+
+    def test_block_count_preserved(self, ba_graph):
+        rng = np.random.default_rng(4)
+        part = Partition(ba_graph, rng.integers(0, 6, ba_graph.n), 6)
+        refined = kway_refine(part, epsilon=0.2)
+        assert refined.k == 6
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1000), k=st.integers(2, 12))
+    def test_property_balance_and_monotone(self, seed, k):
+        g = gen.barabasi_albert(150, 3, seed=99)
+        rng = np.random.default_rng(seed)
+        # start from a balanced-ish random partition
+        assign = np.arange(g.n) % k
+        rng.shuffle(assign)
+        part = Partition(g, assign, k)
+        refined = kway_refine(part, epsilon=0.05)
+        assert refined.edge_cut() <= part.edge_cut()
+        refined.check_balance(0.05)
+
+
+class TestIntegrationWithKway:
+    def test_refinement_helps_partitioner(self, ba_graph):
+        no_ref = partition_kway(ba_graph, 16, seed=5, kway_passes=0)
+        with_ref = partition_kway(ba_graph, 16, seed=5, kway_passes=2)
+        assert with_ref.edge_cut() <= no_ref.edge_cut()
+        with_ref.check_balance(0.03)

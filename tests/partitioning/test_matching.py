@@ -1,0 +1,63 @@
+"""Tests for heavy-edge matching."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.builder import from_edges
+from repro.partitioning.matching import (
+    UNMATCHED,
+    heavy_edge_matching,
+    matching_to_coarse_map,
+)
+
+
+class TestMatchingValidity:
+    def test_symmetric(self, ba_graph):
+        match = heavy_edge_matching(ba_graph, seed=1)
+        for v in range(ba_graph.n):
+            assert match[match[v]] == v  # involution (self or partner)
+
+    def test_matched_pairs_are_edges(self, ba_graph):
+        match = heavy_edge_matching(ba_graph, seed=2)
+        for v in range(ba_graph.n):
+            u = int(match[v])
+            if u != v:
+                assert ba_graph.has_edge(v, u)
+
+    def test_no_unmatched_marker_left(self, ba_graph):
+        match = heavy_edge_matching(ba_graph, seed=3)
+        assert (match != UNMATCHED).all()
+
+    def test_prefers_heavy_edge(self):
+        # Heavy pairs (0,1) and (2,3) joined by a light bridge: every
+        # visit order must produce the heavy matching.
+        g = from_edges(4, [(0, 1, 10.0), (2, 3, 10.0), (1, 2, 1.0)])
+        for seed in range(8):
+            match = heavy_edge_matching(g, seed=seed)
+            assert match[0] == 1 and match[2] == 3
+
+    def test_weight_cap_respected(self):
+        g = from_edges(2, [(0, 1, 5.0)], vertex_weights=[3.0, 3.0])
+        match = heavy_edge_matching(g, seed=0, max_vertex_weight=4.0)
+        assert match[0] == 0 and match[1] == 1
+
+
+class TestCoarseMap:
+    def test_pairs_share_id(self, ba_graph):
+        match = heavy_edge_matching(ba_graph, seed=4)
+        coarse_of, n_coarse = matching_to_coarse_map(match)
+        for v in range(ba_graph.n):
+            assert coarse_of[v] == coarse_of[match[v]]
+        assert n_coarse == len(set(coarse_of.tolist()))
+
+    def test_ids_contiguous(self, ba_graph):
+        match = heavy_edge_matching(ba_graph, seed=5)
+        coarse_of, n_coarse = matching_to_coarse_map(match)
+        assert sorted(set(coarse_of.tolist())) == list(range(n_coarse))
+
+    def test_halving(self):
+        g = gen.cycle(20)
+        match = heavy_edge_matching(g, seed=6)
+        _, n_coarse = matching_to_coarse_map(match)
+        assert n_coarse <= 15  # cycles match nearly perfectly

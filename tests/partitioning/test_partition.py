@@ -1,0 +1,79 @@
+"""Tests for the Partition value type."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BalanceError
+from repro.graphs import generators as gen
+from repro.graphs.builder import from_edges
+from repro.partitioning.partition import Partition
+
+
+@pytest.fixture
+def p4(small_grid):
+    """4x4 grid split into 4 quadrant blocks."""
+    assign = np.asarray([(v // 8) * 2 + ((v % 4) // 2) for v in range(16)])
+    return Partition(small_grid, assign, 4)
+
+
+class TestMetrics:
+    def test_block_sizes(self, p4):
+        assert p4.block_sizes().tolist() == [4, 4, 4, 4]
+
+    def test_block_weights_unit(self, p4):
+        assert p4.block_weights().tolist() == [4.0, 4.0, 4.0, 4.0]
+
+    def test_edge_cut_quadrants(self, p4):
+        # 4x4 grid quadrant cut: 4 horizontal + 4 vertical crossing edges
+        assert p4.edge_cut() == 8.0
+
+    def test_imbalance_zero(self, p4):
+        assert p4.imbalance() == 0.0
+
+    def test_block_members(self, p4):
+        members = p4.block_members(0)
+        assert sorted(members.tolist()) == [0, 1, 4, 5]
+
+    def test_weighted_cut(self):
+        g = from_edges(3, [(0, 1, 5.0), (1, 2, 1.0)])
+        part = Partition(g, np.asarray([0, 0, 1]), 2)
+        assert part.edge_cut() == 1.0
+
+
+class TestBalance:
+    def test_balanced_passes(self, p4):
+        p4.check_balance(0.0)
+
+    def test_unbalanced_raises(self, small_grid):
+        assign = np.zeros(16, dtype=np.int64)
+        assign[0] = 1
+        part = Partition(small_grid, assign, 2)
+        with pytest.raises(BalanceError):
+            part.check_balance(0.03)
+        assert not part.is_balanced(0.03)
+
+    def test_eq1_uses_ceiling(self):
+        # 5 vertices in 2 blocks: ceil(5/2)=3 means a 3/2 split is balanced
+        g = from_edges(5, [(i, i + 1) for i in range(4)])
+        part = Partition(g, np.asarray([0, 0, 0, 1, 1]), 2)
+        part.check_balance(0.0)
+
+
+class TestConstruction:
+    def test_rejects_out_of_range(self, small_grid):
+        with pytest.raises(ValueError):
+            Partition(small_grid, np.full(16, 7), 4)
+
+    def test_rejects_wrong_length(self, small_grid):
+        with pytest.raises(ValueError):
+            Partition(small_grid, np.zeros(4), 4)
+
+    def test_with_assignment(self, p4):
+        q = p4.with_assignment(np.zeros(16, dtype=np.int64))
+        assert q.edge_cut() == 0.0
+
+    def test_renumbered_drops_empty(self, small_grid):
+        part = Partition(small_grid, np.full(16, 3), 5)
+        ren = part.renumbered()
+        assert ren.k == 1
+        assert (ren.assignment == 0).all()

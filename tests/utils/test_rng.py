@@ -1,0 +1,47 @@
+"""Tests for deterministic RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_int_seed_deterministic(self):
+        a = make_rng(42).integers(0, 1000, size=10)
+        b = make_rng(42).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(7)
+        assert make_rng(g) is g
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(1, 5)) == 5
+
+    def test_independent_streams(self):
+        a, b = spawn_rngs(1, 2)
+        assert not np.array_equal(a.integers(0, 10**9, 20), b.integers(0, 10**9, 20))
+
+    def test_deterministic(self):
+        xs = [g.integers(0, 10**9) for g in spawn_rngs(99, 3)]
+        ys = [g.integers(0, 10**9) for g in spawn_rngs(99, 3)]
+        assert xs == ys
+
+    def test_adding_children_stable_prefix(self):
+        xs = [g.integers(0, 10**9) for g in spawn_rngs(5, 2)]
+        ys = [g.integers(0, 10**9) for g in spawn_rngs(5, 4)][:2]
+        assert xs == ys
+
+    def test_from_generator(self):
+        gens = spawn_rngs(np.random.default_rng(3), 3)
+        assert len(gens) == 3
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)

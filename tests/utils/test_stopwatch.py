@@ -1,0 +1,35 @@
+"""Tests for the stopwatch."""
+
+import pytest
+
+from repro.utils.stopwatch import Stopwatch
+
+
+def test_context_manager_accumulates():
+    sw = Stopwatch()
+    with sw:
+        sum(range(1000))
+    first = sw.elapsed
+    assert first > 0
+    with sw:
+        sum(range(1000))
+    assert sw.elapsed > first
+
+
+def test_double_start_raises():
+    sw = Stopwatch().start()
+    with pytest.raises(RuntimeError):
+        sw.start()
+
+
+def test_stop_without_start_raises():
+    with pytest.raises(RuntimeError):
+        Stopwatch().stop()
+
+
+def test_reset():
+    sw = Stopwatch()
+    with sw:
+        pass
+    sw.reset()
+    assert sw.elapsed == 0.0

@@ -1,0 +1,48 @@
+"""Tests for argument validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    as_int_array,
+    check_assignment,
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+)
+
+
+def test_check_positive():
+    check_positive("x", 1)
+    with pytest.raises(ValueError):
+        check_positive("x", 0)
+
+
+def test_check_nonnegative():
+    check_nonnegative("x", 0)
+    with pytest.raises(ValueError):
+        check_nonnegative("x", -1)
+
+
+def test_check_in_range():
+    check_in_range("x", 0.5, 0, 1)
+    with pytest.raises(ValueError):
+        check_in_range("x", 2, 0, 1)
+
+
+def test_as_int_array_length():
+    out = as_int_array("a", [1, 2, 3], 3)
+    assert out.dtype == np.int64
+    with pytest.raises(ValueError):
+        as_int_array("a", [1, 2], 3)
+    with pytest.raises(ValueError):
+        as_int_array("a", [[1], [2]])
+
+
+def test_check_assignment():
+    check_assignment("a", np.asarray([0, 1, 2]), 3)
+    with pytest.raises(ValueError):
+        check_assignment("a", np.asarray([0, 3]), 3)
+    with pytest.raises(ValueError):
+        check_assignment("a", np.asarray([-1]), 3)
+    check_assignment("a", np.asarray([], dtype=np.int64), 0)
