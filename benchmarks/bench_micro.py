@@ -12,11 +12,18 @@ import pytest
 
 from repro.core.assemble import assemble
 from repro.core.contraction import contract_level, make_finest_level
+from repro.core.kernels import (
+    batch_pair_deltas,
+    level_csr,
+    pair_delta,
+    sibling_pair_weights,
+    sibling_pairs,
+)
 from repro.core.labels import build_application_labeling
 from repro.core.objective import coco_plus
-from repro.core.swaps import swap_pass
+from repro.core.swaps import swap_pass, swap_pass_reference
 from repro.graphs import generators as gen
-from repro.partialcube.djokovic import partial_cube_labeling
+from repro.partialcube.djokovic import djokovic_classes, partial_cube_labeling
 from repro.utils.bitops import permute_bits
 
 
@@ -51,6 +58,7 @@ def test_bench_coco_plus_eval(benchmark, workload):
 
 
 def test_bench_swap_pass_level1(benchmark, workload):
+    """The production path: the vectorized batch kernel."""
     ga, _, _, app = workload
 
     def run():
@@ -59,6 +67,69 @@ def test_bench_swap_pass_level1(benchmark, workload):
 
     n_swaps, _ = benchmark(run)
     assert n_swaps >= 0
+
+
+def test_bench_swap_pass_scalar_reference(benchmark, workload):
+    """The seed's per-pair scalar loop -- the 'before' of the kernel PR."""
+    ga, _, _, app = workload
+
+    def run():
+        lvl = make_finest_level(ga.edge_arrays(), app.labels.copy())
+        return swap_pass_reference(lvl, sign=1)
+
+    n_swaps, _ = benchmark(run)
+    assert n_swaps >= 0
+
+
+def test_bench_pair_deltas_batch(benchmark, workload):
+    """Gain evaluation of every sibling pair in one vectorized pass."""
+    ga, _, _, app = workload
+    lvl = make_finest_level(ga.edge_arrays(), app.labels.copy())
+    csr = level_csr(lvl)
+    pairs = sibling_pairs(lvl.labels)
+    pair_w = sibling_pair_weights(lvl, pairs)
+
+    deltas = benchmark(batch_pair_deltas, lvl.labels, pairs, csr, 1, pair_w)
+    assert deltas.shape[0] == pairs.shape[0]
+
+
+def test_bench_pair_deltas_scalar(benchmark, workload):
+    """Same gains via the scalar per-pair reference (the seed hot loop)."""
+    ga, _, _, app = workload
+    lvl = make_finest_level(ga.edge_arrays(), app.labels.copy())
+    indptr, indices, weights = level_csr(lvl)
+    pairs = sibling_pairs(lvl.labels)
+
+    def run():
+        return [
+            pair_delta(lvl.labels, indptr, indices, weights, int(u), int(v), 1)
+            for u, v in pairs
+        ]
+
+    deltas = benchmark(run)
+    assert len(deltas) == pairs.shape[0]
+
+
+@pytest.fixture(scope="module")
+def grid16_distances():
+    """Precomputed distances so the djokovic benches time the class
+    computation itself, not the shared all-pairs BFS."""
+    from repro.graphs.algorithms import all_pairs_distances
+
+    gp = gen.grid(16, 16)
+    return gp, all_pairs_distances(gp)
+
+
+def test_bench_djokovic_vectorized(benchmark, grid16_distances):
+    gp, dist = grid16_distances
+    edge_class, classes = benchmark(djokovic_classes, gp, dist, "vectorized")
+    assert len(classes) == 30
+
+
+def test_bench_djokovic_loop(benchmark, grid16_distances):
+    gp, dist = grid16_distances
+    edge_class, classes = benchmark(djokovic_classes, gp, dist, "loop")
+    assert len(classes) == 30
 
 
 def test_bench_contraction(benchmark, workload):

@@ -23,7 +23,11 @@ class Level:
 
     ``labels`` are the level's (unique) label values; ``parent`` maps this
     level's vertex ids to the next-coarser level's ids and is filled in
-    when the next level is built.
+    when the next level is built.  ``csr`` caches the symmetric adjacency
+    ``(indptr, indices, weights)`` of the edge arrays -- the level's
+    structure never changes after construction (swaps only permute
+    ``labels``), so the swap kernels build it at most once per level via
+    :func:`repro.core.kernels.level_csr`.
     """
 
     us: np.ndarray
@@ -31,6 +35,7 @@ class Level:
     ws: np.ndarray
     labels: np.ndarray
     parent: np.ndarray | None = None
+    csr: tuple | None = None
 
     @property
     def n(self) -> int:

@@ -39,6 +39,7 @@ from repro.partialcube.djokovic import PartialCubeLabeling, partial_cube_labelin
 from repro.partitioning.metrics import edge_cut
 from repro.utils.rng import SeedLike, make_rng
 from repro.utils.bitops import permute_bits, unpermute_bits
+from repro.utils.segments import build_csr
 from repro.utils.stopwatch import Stopwatch
 
 
@@ -141,6 +142,11 @@ def _enhance_labeling(
     dim = app.dim
     dim_e = app.dim_e
     edges = ga.edge_arrays()
+    # The finest level's edge structure is identical in every hierarchy
+    # (only the labels are re-permuted), so its CSR is built exactly once
+    # per enhance run and handed to each hierarchy's level 1.  Coarser
+    # levels differ per hierarchy and cache their own CSR on the Level.
+    finest_csr = build_csr(ga.n, *edges)
     current = app.labels.copy()
     current_val = coco_plus(ga, current, app.dim_p, dim_e)
     history: list[float] = []
@@ -157,7 +163,7 @@ def _enhance_labeling(
             history.append(current_val)
             continue
         perm = rng.permutation(dim).astype(np.int64)
-        candidate = _one_hierarchy(edges, current, dim, dim_e, perm, cfg)
+        candidate = _one_hierarchy(edges, current, dim, dim_e, perm, cfg, finest_csr)
         cand_val = coco_plus(ga, candidate, app.dim_p, dim_e)
         # Paper line 17: revert only when strictly worse.
         if cand_val <= current_val:
@@ -185,6 +191,7 @@ def _one_hierarchy(
     dim_e: int,
     perm: np.ndarray,
     cfg: TimerConfig,
+    finest_csr: tuple | None = None,
 ) -> np.ndarray:
     """Lines 5-16 of Algorithm 1 for one permutation."""
     plab = permute_bits(labels, perm)
@@ -193,6 +200,7 @@ def _one_hierarchy(
     signs = np.where(perm >= dim_e, 1, -1).astype(np.int64)
     do_swaps = kl_swap_pass if cfg.swap_strategy == "kl" else swap_pass
     levels: list[Level] = [make_finest_level(edges, plab)]
+    levels[0].csr = finest_csr
     for i in range(2, dim):  # paper: i = 2 .. dim_Ga - 1
         lev = levels[-1]
         do_swaps(lev, int(signs[i - 2]), sweeps=cfg.sweeps_per_level)

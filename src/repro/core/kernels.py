@@ -1,0 +1,362 @@
+"""Vectorized batch-swap kernels for TIMER's hot loops (paper §6.3).
+
+The running-time analysis promises ``O(|E|)`` per-level swap sweeps, but
+the scalar implementation pays a Python-loop constant per sibling pair:
+every gain evaluation slices fresh numpy views for both endpoints.  The
+kernels here evaluate the gains of *all* sibling pairs in one vectorized
+pass and apply improving swaps in conflict-free rounds whose outcome is
+**provably identical** to the scalar greedy sweep in ascending
+label-prefix order.
+
+How the batch gain works
+------------------------
+A sibling swap exchanges the labels of a pair ``(u, v)`` that differ only
+in bit 0, so only the LSB contribution of their incident edges moves.  Per
+directed CSR entry ``a -> t`` the contribution is
+
+    c(a, t) = w(a, t) * (1 - 2 * ((l_a ^ l_t) & 1))
+
+and the pair's gain is ``sign * (S[u] + S[v] - c(u, v) - c(v, u))`` where
+``S`` is the per-vertex segment sum of ``c`` over the CSR layout
+(``np.add.reduceat``).  Because siblings always differ in bit 0,
+``c(u, v) = -w(u, v)``, so the correction is ``+ 2 * w(u, v)``.
+
+Greedy-equivalent conflict resolution
+-------------------------------------
+The scalar sweep applies swaps sequentially, so a pair's gain can depend
+on earlier swaps.  The dependence has a closed form: within one sweep a
+vertex LSB flips at most once (its pair swaps at most once), so the gain
+pair ``i`` sees at its turn is
+
+    d_i = d_i^0 - 2 * sum_{j < i, pair j swapped} C[i, j]
+
+where ``d^0`` are the start-of-sweep batch gains and ``C[i, j]`` sums the
+initial contributions ``c`` of the edges between the endpoints of pairs
+``i`` and ``j``.  The sweep outcome is therefore the unique fixpoint of
+``s_i = [d_i^0 - 2 * sum_{j<i} C[i,j] * s_j < 0]``, which the kernel
+solves by synchronous iteration from the seed ``s = d^0 < 0``.  If an
+iterate agrees with the true outcome on all pairs before position ``p``,
+the next iterate is also correct at ``p`` (corrections only flow from
+earlier pairs), so the correct prefix grows every iteration and the
+iteration terminates in at most ``k`` steps -- in practice a handful,
+because corrections only propagate along edges whose earlier endpoint
+actually swaps.  The result is byte-identical to the scalar reference
+whenever edge weights are exactly representable (e.g. integer-valued,
+which all contracted levels of unit-weight graphs are).
+
+Backend seam
+------------
+``REPRO_KERNEL_BACKEND`` selects the implementation of the innermost
+segment reduction: ``numpy`` (default, always available) or ``numba``
+(an ``njit`` fast path, used only when numba imports).  ``auto`` picks
+numba when present.  The seam is deliberately tiny -- one function --
+so adding a C/Cython backend later only touches this module.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.core.contraction import Level
+from repro.utils.segments import build_csr, segment_sum
+
+__all__ = [
+    "available_backends",
+    "get_backend",
+    "set_backend",
+    "level_csr",
+    "vertex_lsb_sums",
+    "sibling_pairs",
+    "sibling_pair_weights",
+    "batch_pair_deltas",
+    "pair_delta",
+    "batch_swap_pass",
+]
+
+# ----------------------------------------------------------------------
+# Backend seam
+# ----------------------------------------------------------------------
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba as _numba
+except ImportError:  # pragma: no cover
+    _numba = None
+
+_backend_override: str | None = None
+
+
+def available_backends() -> tuple[str, ...]:
+    """Backends usable in this process (``numpy`` always; ``numba`` if importable)."""
+    return ("numpy", "numba") if _numba is not None else ("numpy",)
+
+
+def get_backend() -> str:
+    """Resolve the active kernel backend.
+
+    Priority: :func:`set_backend` override, then the
+    ``REPRO_KERNEL_BACKEND`` environment variable (``numpy`` / ``numba`` /
+    ``auto``), then ``auto``.  ``auto`` means numba when available, else
+    numpy.  Requesting ``numba`` without numba installed silently falls
+    back to numpy -- the kernels are semantically identical.
+    """
+    choice = _backend_override or os.environ.get("REPRO_KERNEL_BACKEND", "auto")
+    choice = choice.lower()
+    if choice not in ("numpy", "numba", "auto"):
+        raise ValueError(
+            f"unknown kernel backend {choice!r}; expected numpy, numba or auto"
+        )
+    if choice == "auto":
+        return "numba" if _numba is not None else "numpy"
+    if choice == "numba" and _numba is None:
+        return "numpy"
+    return choice
+
+
+def set_backend(name: str | None) -> None:
+    """Force a backend for this process (``None`` restores env/auto)."""
+    if name is not None and name.lower() not in ("numpy", "numba", "auto"):
+        raise ValueError(
+            f"unknown kernel backend {name!r}; expected numpy, numba or auto"
+        )
+    global _backend_override
+    _backend_override = name
+
+
+if _numba is not None:  # pragma: no cover - numba not in the CI image
+
+    @_numba.njit(cache=True)
+    def _vertex_lsb_sums_numba(labels, indptr, indices, weights):
+        n = labels.shape[0]
+        out = np.zeros(n, dtype=np.float64)
+        for u in range(n):
+            lu = labels[u] & 1
+            acc = 0.0
+            for k in range(indptr[u], indptr[u + 1]):
+                x = lu ^ (labels[indices[k]] & 1)
+                acc += weights[k] * (1.0 - 2.0 * x)
+            out[u] = acc
+        return out
+
+
+# ----------------------------------------------------------------------
+# Structure helpers
+# ----------------------------------------------------------------------
+def level_csr(level: Level) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Cached symmetric CSR adjacency of a hierarchy level.
+
+    Built on first use and stored on ``level.csr``; a level's edge arrays
+    are immutable (swap passes only permute labels), so one build per
+    level suffices no matter how many sweeps or strategies run on it.
+    """
+    if level.csr is None:
+        level.csr = build_csr(level.n, level.us, level.vs, level.ws)
+    return level.csr
+
+
+def sibling_pairs(labels: np.ndarray) -> np.ndarray:
+    """``(k, 2)`` array of vertex pairs whose labels differ only in bit 0.
+
+    Pairs are returned in ascending prefix order; labels are assumed
+    unique (true on every hierarchy level).
+    """
+    order = np.argsort(labels, kind="stable")
+    lab_sorted = labels[order]
+    adjacent = (lab_sorted[1:] >> 1) == (lab_sorted[:-1] >> 1)
+    first = np.nonzero(adjacent)[0]
+    return np.stack([order[first], order[first + 1]], axis=1)
+
+
+def sibling_pair_weights(level: Level, pairs: np.ndarray) -> np.ndarray:
+    """Weight of the (optional) edge inside each sibling pair.
+
+    A swap leaves the pair's internal edge invariant, so its contribution
+    must be subtracted from the per-vertex sums; pairs without an internal
+    edge get 0.  Works off the level's undirected edge arrays: an edge is
+    internal to a pair iff both endpoint labels share the pair's prefix.
+    """
+    k = pairs.shape[0]
+    out = np.zeros(k, dtype=np.float64)
+    if k == 0 or level.us.size == 0:
+        return out
+    labels = level.labels
+    pu = labels[level.us] >> 1
+    pv = labels[level.vs] >> 1
+    internal = np.nonzero(pu == pv)[0]
+    if internal.size == 0:
+        return out
+    prefixes = labels[pairs[:, 0]] >> 1  # ascending by construction
+    pos = np.searchsorted(prefixes, pu[internal])
+    # Levels merge parallel edges, but accumulate defensively anyway.
+    np.add.at(out, pos, level.ws[internal])
+    return out
+
+
+# ----------------------------------------------------------------------
+# Gain kernels
+# ----------------------------------------------------------------------
+def vertex_lsb_sums(
+    labels: np.ndarray,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    weights: np.ndarray,
+) -> np.ndarray:
+    """Per-vertex sum of LSB edge contributions ``w * (1 - 2*((l_u^l_t)&1))``.
+
+    One gather + one segment reduction over the whole CSR -- this is the
+    O(|E|) inner kernel of the batch swap pass.
+    """
+    if get_backend() == "numba":  # pragma: no cover - numba not in CI image
+        return _vertex_lsb_sums_numba(labels, indptr, indices, weights)
+    # The source LSB is constant within a CSR segment, so instead of
+    # gathering per-entry source labels:
+    #   S[u] = W[u] - 2*T[u]  when b_u == 0
+    #   S[u] = 2*T[u] - W[u]  when b_u == 1
+    # with W the per-vertex weight sums and T the weight sums over
+    # neighbors whose LSB is set.
+    tw = segment_sum(weights * (labels[indices] & 1), indptr)
+    wtot = segment_sum(weights, indptr)
+    return np.where((labels & 1) == 1, 2.0 * tw - wtot, wtot - 2.0 * tw)
+
+
+def batch_pair_deltas(
+    labels: np.ndarray,
+    pairs: np.ndarray,
+    csr: tuple[np.ndarray, np.ndarray, np.ndarray],
+    sign: int,
+    pair_w: np.ndarray,
+) -> np.ndarray:
+    """Swap gains of all ``pairs`` in one vectorized pass.
+
+    Equals ``[_swap_delta(labels, *csr, u, v, sign) for u, v in pairs]``
+    up to floating-point associativity (exactly, for integer-valued
+    weights).  ``pair_w`` comes from :func:`sibling_pair_weights`.
+    """
+    indptr, indices, weights = csr
+    sums = vertex_lsb_sums(labels, indptr, indices, weights)
+    # The internal pair edge contributes -w on both sides (siblings always
+    # differ in bit 0); excluding it adds +w per endpoint.
+    return sign * (sums[pairs[:, 0]] + sums[pairs[:, 1]] + 2.0 * pair_w)
+
+
+def pair_delta(
+    labels: np.ndarray,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    weights: np.ndarray,
+    u: int,
+    v: int,
+    sign: int,
+) -> float:
+    """Scalar reference gain of swapping the sibling labels of ``u, v``.
+
+    Kept as the ground truth the batch kernel is tested against, and as
+    the single-pair recompute primitive of the KL pass.
+    """
+    delta = 0.0
+    for a, other in ((u, v), (v, u)):
+        lo, hi = indptr[a], indptr[a + 1]
+        nbrs = indices[lo:hi]
+        wts = weights[lo:hi]
+        keep = nbrs != other
+        if not keep.all():
+            nbrs = nbrs[keep]
+            wts = wts[keep]
+        if nbrs.size == 0:
+            continue
+        xor_bits = (labels[nbrs] ^ labels[a]) & 1
+        delta += float((wts * (1.0 - 2.0 * xor_bits)).sum())
+    return sign * delta
+
+
+# ----------------------------------------------------------------------
+# Batch swap pass
+# ----------------------------------------------------------------------
+def batch_swap_pass(
+    level: Level,
+    sign: int,
+    sweeps: int = 1,
+    csr: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
+) -> tuple[int, float]:
+    """Greedy sibling-swap pass, vectorized (labels mutate in place).
+
+    Drop-in replacement for the scalar sweep: same ``(n_swaps,
+    total_delta)`` contract, same final labeling (see module docstring for
+    the equivalence argument).  ``csr`` may be passed when the caller
+    already holds the level's adjacency; otherwise it is built once and
+    cached on the level.
+    """
+    if sign not in (-1, 1):
+        raise ValueError(f"sign must be +-1, got {sign}")
+    labels = level.labels
+    if labels.shape[0] < 2 or level.us.size == 0:
+        return 0, 0.0
+    if csr is None:
+        csr = level_csr(level)
+    indptr, indices, weights = csr
+    n = labels.shape[0]
+    n_swaps = 0
+    total_delta = 0.0
+    # A swap exchanges labels *within* a pair, so the pair set, its prefix
+    # order, the per-vertex pair index and the whole pair-interaction
+    # layout are invariant across sweeps -- build them once.  Only the
+    # labels-dependent values (gains and contribution signs) change.
+    pairs = sibling_pairs(labels)
+    k = pairs.shape[0]
+    if k == 0:
+        return 0, 0.0
+    pu = pairs[:, 0]
+    pv = pairs[:, 1]
+    pair_w = sibling_pair_weights(level, pairs)
+    # Pair-interaction list: one entry per CSR edge (a, t) with ``a`` in
+    # pair ``own`` and ``t`` in an *earlier-ordered* pair ``dst`` --
+    # exactly the edges whose contribution flips when pair ``dst`` swaps
+    # before pair ``own`` is evaluated.
+    pair_of = np.full(n, -1, dtype=np.int64)
+    local = np.arange(k, dtype=np.int64)
+    pair_of[pu] = local
+    pair_of[pv] = local
+    verts = np.concatenate([pu, pv])
+    starts = indptr[verts]
+    counts = indptr[verts + 1] - starts
+    total = int(counts.sum())
+    excl = np.zeros(2 * k, dtype=np.int64)
+    np.cumsum(counts[:-1], out=excl[1:])
+    ks = np.repeat(starts - excl, counts) + np.arange(total, dtype=np.int64)
+    own_full = np.repeat(np.concatenate([local, local]), counts)
+    nbrs = indices[ks]
+    keep = (pair_of[nbrs] >= 0) & (pair_of[nbrs] < own_full)
+    own = own_full[keep]
+    dst = pair_of[nbrs[keep]]
+    w_keep = weights[ks[keep]]
+    nbrs_keep = nbrs[keep]
+    src_keep = np.repeat(verts, counts)[keep]
+    for _ in range(max(1, sweeps)):
+        # Start-of-sweep gains for every pair in one vectorized pass.
+        deltas0 = batch_pair_deltas(labels, pairs, csr, sign, pair_w)
+        c0 = sign * (
+            w_keep * (1.0 - 2.0 * ((labels[src_keep] ^ labels[nbrs_keep]) & 1))
+        )
+        # Solve the sequential-sweep fixpoint by synchronous iteration:
+        # the correct prefix of the decision vector grows every step, so
+        # at most k iterations -- in practice a handful.
+        swap = deltas0 < 0.0
+        deltas = deltas0
+        for _ in range(k + 1):
+            act = swap[dst]
+            corr = np.bincount(own[act], weights=c0[act], minlength=k)
+            deltas = deltas0 - 2.0 * corr
+            new_swap = deltas < 0.0
+            if np.array_equal(new_swap, swap):
+                break
+            swap = new_swap
+        cu, cv = pu[swap], pv[swap]
+        if cu.size:
+            tmp = labels[cu].copy()
+            labels[cu] = labels[cv]
+            labels[cv] = tmp
+            n_swaps += int(cu.size)
+            total_delta += float(deltas[swap].sum())
+        else:
+            break
+    return n_swaps, total_delta

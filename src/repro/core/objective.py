@@ -20,7 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graphs.graph import Graph
-from repro.utils.bitops import mask_of_width
+from repro.utils.bitops import bitwise_count, mask_of_width
 
 
 def _masks(dim_p: int, dim_e: int) -> tuple[int, int]:
@@ -32,7 +32,7 @@ def coco_of_labels(ga: Graph, labels: np.ndarray, dim_p: int, dim_e: int) -> flo
     lp_mask, _ = _masks(dim_p, dim_e)
     us, vs, ws = ga.edge_arrays()
     xor = (labels[us] ^ labels[vs]) & lp_mask
-    return float((ws * np.bitwise_count(xor)).sum())
+    return float((ws * bitwise_count(xor)).sum())
 
 
 def div_of_labels(ga: Graph, labels: np.ndarray, dim_p: int, dim_e: int) -> float:
@@ -40,7 +40,7 @@ def div_of_labels(ga: Graph, labels: np.ndarray, dim_p: int, dim_e: int) -> floa
     _, le_mask = _masks(dim_p, dim_e)
     us, vs, ws = ga.edge_arrays()
     xor = (labels[us] ^ labels[vs]) & le_mask
-    return float((ws * np.bitwise_count(xor)).sum())
+    return float((ws * bitwise_count(xor)).sum())
 
 
 def coco_plus(ga: Graph, labels: np.ndarray, dim_p: int, dim_e: int) -> float:
@@ -52,8 +52,8 @@ def coco_plus(ga: Graph, labels: np.ndarray, dim_p: int, dim_e: int) -> float:
         (
             ws
             * (
-                np.bitwise_count(xor & lp_mask).astype(np.float64)
-                - np.bitwise_count(xor & le_mask)
+                bitwise_count(xor & lp_mask).astype(np.float64)
+                - bitwise_count(xor & le_mask)
             )
         ).sum()
     )
@@ -73,8 +73,8 @@ def coco_plus_edges(
         (
             ws
             * (
-                np.bitwise_count(xor & lp_mask).astype(np.float64)
-                - np.bitwise_count(xor & le_mask)
+                bitwise_count(xor & lp_mask).astype(np.float64)
+                - bitwise_count(xor & le_mask)
             )
         ).sum()
     )
@@ -104,8 +104,8 @@ def coco_plus_signed(
         (
             ws
             * (
-                np.bitwise_count(xor & pos_mask).astype(np.float64)
-                - np.bitwise_count(xor & neg_mask)
+                bitwise_count(xor & pos_mask).astype(np.float64)
+                - bitwise_count(xor & neg_mask)
             )
         ).sum()
     )

@@ -14,6 +14,13 @@ the level's LSB is an lp bit (it contributes to Coco) and -1 when it is an
 le bit (it contributes to -Div).  The pass greedily applies every swap
 with negative delta, in ascending label-prefix order, optionally repeating
 until stable.
+
+The production path is the vectorized batch kernel in
+:mod:`repro.core.kernels` (one CSR gather + segment reduction for *all*
+pairs, conflict-free commit rounds equivalent to the sequential sweep).
+The original scalar sweep is kept as :func:`swap_pass_reference` -- it is
+the ground truth for the equivalence tests and the "before" side of the
+kernel benchmarks.
 """
 
 from __future__ import annotations
@@ -21,38 +28,51 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.contraction import Level
+from repro.core.kernels import (
+    batch_pair_deltas,
+    batch_swap_pass,
+    level_csr,
+    pair_delta,
+    sibling_pair_weights,
+    sibling_pairs,
+)
+from repro.utils.segments import build_csr
+
+__all__ = [
+    "build_adjacency",
+    "sibling_pairs",
+    "swap_pass",
+    "swap_pass_reference",
+    "kl_swap_pass",
+]
 
 
 def build_adjacency(level: Level) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """CSR adjacency (indptr, indices, weights) of a level's edge arrays."""
-    n = level.n
-    src = np.concatenate([level.us, level.vs])
-    dst = np.concatenate([level.vs, level.us])
-    wt = np.concatenate([level.ws, level.ws])
-    order = np.argsort(src, kind="stable")
-    indptr = np.zeros(n + 1, dtype=np.int64)
-    np.cumsum(np.bincount(src, minlength=n), out=indptr[1:])
-    return indptr, dst[order], wt[order]
+    return build_csr(level.n, level.us, level.vs, level.ws)
 
 
-def sibling_pairs(labels: np.ndarray) -> np.ndarray:
-    """``(k, 2)`` array of vertex pairs whose labels differ only in bit 0.
-
-    Pairs are returned in ascending prefix order; labels are assumed
-    unique (true on every hierarchy level).
-    """
-    order = np.argsort(labels, kind="stable")
-    lab_sorted = labels[order]
-    adjacent = (lab_sorted[1:] >> 1) == (lab_sorted[:-1] >> 1)
-    first = np.nonzero(adjacent)[0]
-    return np.stack([order[first], order[first + 1]], axis=1)
-
-
-def swap_pass(level: Level, sign: int, sweeps: int = 1) -> tuple[int, float]:
+def swap_pass(
+    level: Level,
+    sign: int,
+    sweeps: int = 1,
+    csr: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
+) -> tuple[int, float]:
     """Run greedy sibling swaps on ``level`` (labels mutate in place).
 
     Returns ``(n_swaps, total_delta)`` where ``total_delta`` is the summed
-    (negative) change of the level's ``Coco+`` estimate.
+    (negative) change of the level's ``Coco+`` estimate.  Delegates to the
+    vectorized :func:`repro.core.kernels.batch_swap_pass`, which produces
+    the same final labeling as the scalar sweep.
+    """
+    return batch_swap_pass(level, sign, sweeps=sweeps, csr=csr)
+
+
+def swap_pass_reference(level: Level, sign: int, sweeps: int = 1) -> tuple[int, float]:
+    """The original scalar greedy sweep (per-pair Python loop).
+
+    Kept verbatim as the semantic reference: the batch kernel must match
+    its final labeling byte-for-byte on integer-weight levels.
     """
     if sign not in (-1, 1):
         raise ValueError(f"sign must be +-1, got {sign}")
@@ -78,32 +98,17 @@ def swap_pass(level: Level, sign: int, sweeps: int = 1) -> tuple[int, float]:
     return n_swaps, total_delta
 
 
-def _swap_delta(
-    labels: np.ndarray,
-    indptr: np.ndarray,
-    indices: np.ndarray,
-    weights: np.ndarray,
-    u: int,
-    v: int,
+#: Scalar per-pair gain; lives in :mod:`repro.core.kernels` now but stays
+#: importable from here for backward compatibility.
+_swap_delta = pair_delta
+
+
+def kl_swap_pass(
+    level: Level,
     sign: int,
-) -> float:
-    delta = 0.0
-    for a, other in ((u, v), (v, u)):
-        lo, hi = indptr[a], indptr[a + 1]
-        nbrs = indices[lo:hi]
-        wts = weights[lo:hi]
-        keep = nbrs != other
-        if not keep.all():
-            nbrs = nbrs[keep]
-            wts = wts[keep]
-        if nbrs.size == 0:
-            continue
-        xor_bits = (labels[nbrs] ^ labels[a]) & 1
-        delta += float((wts * (1.0 - 2.0 * xor_bits)).sum())
-    return sign * delta
-
-
-def kl_swap_pass(level: Level, sign: int, sweeps: int = 1) -> tuple[int, float]:
+    sweeps: int = 1,
+    csr: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
+) -> tuple[int, float]:
     """Kernighan-Lin-style swap pass (the paper's future-work variant).
 
     Where :func:`swap_pass` applies only immediately-improving swaps, this
@@ -114,7 +119,9 @@ def kl_swap_pass(level: Level, sign: int, sweeps: int = 1) -> tuple[int, float]:
 
     Same contract as :func:`swap_pass`: labels mutate in place, the label
     multiset is preserved, returns ``(n_swaps_kept, total_delta)`` with
-    ``total_delta <= 0``.
+    ``total_delta <= 0``.  The initial gain table is filled by the batch
+    kernel in one vectorized pass; only the incremental recomputes inside
+    the heap loop stay scalar (they touch single pairs by construction).
     """
     import heapq
 
@@ -123,7 +130,9 @@ def kl_swap_pass(level: Level, sign: int, sweeps: int = 1) -> tuple[int, float]:
     labels = level.labels
     if labels.shape[0] < 2 or level.us.size == 0:
         return 0, 0.0
-    indptr, indices, weights = build_adjacency(level)
+    if csr is None:
+        csr = level_csr(level)
+    indptr, indices, weights = csr
     kept_swaps = 0
     kept_delta = 0.0
     for _ in range(max(1, sweeps)):
@@ -136,12 +145,13 @@ def kl_swap_pass(level: Level, sign: int, sweeps: int = 1) -> tuple[int, float]:
             pair_of[int(u)] = pid
             pair_of[int(v)] = pid
         done = np.zeros(pairs.shape[0], dtype=bool)
-        current = np.empty(pairs.shape[0], dtype=np.float64)
-        heap: list[tuple[float, int, float]] = []
-        for pid, (u, v) in enumerate(pairs):
-            d = _swap_delta(labels, indptr, indices, weights, int(u), int(v), sign)
-            current[pid] = d
-            heapq.heappush(heap, (d, pid, d))
+        pair_w = sibling_pair_weights(level, pairs)
+        current = batch_pair_deltas(labels, pairs, csr, sign, pair_w)
+        heap: list[tuple[float, int, float]] = [
+            (float(current[pid]), pid, float(current[pid]))
+            for pid in range(pairs.shape[0])
+        ]
+        heapq.heapify(heap)
         executed: list[int] = []
         cum = 0.0
         best_cum = 0.0
@@ -151,7 +161,7 @@ def kl_swap_pass(level: Level, sign: int, sweeps: int = 1) -> tuple[int, float]:
             if done[pid] or current[pid] != d_rec:
                 continue
             u, v = int(pairs[pid][0]), int(pairs[pid][1])
-            d_now = _swap_delta(labels, indptr, indices, weights, u, v, sign)
+            d_now = pair_delta(labels, indptr, indices, weights, u, v, sign)
             if d_now != d_rec:
                 current[pid] = d_now
                 heapq.heappush(heap, (d_now, pid, d_now))
@@ -169,7 +179,7 @@ def kl_swap_pass(level: Level, sign: int, sweeps: int = 1) -> tuple[int, float]:
                     qid = pair_of.get(int(t))
                     if qid is not None and not done[qid]:
                         x, y = int(pairs[qid][0]), int(pairs[qid][1])
-                        d_new = _swap_delta(
+                        d_new = pair_delta(
                             labels, indptr, indices, weights, x, y, sign
                         )
                         if d_new != current[qid]:

@@ -43,7 +43,14 @@ class Graph:
         optional human-readable name carried through experiments.
     """
 
-    __slots__ = ("indptr", "indices", "weights", "vertex_weights", "name")
+    __slots__ = (
+        "indptr",
+        "indices",
+        "weights",
+        "vertex_weights",
+        "name",
+        "_edge_arrays_cache",
+    )
 
     def __init__(
         self,
@@ -62,6 +69,7 @@ class Graph:
             vertex_weights = np.ones(n, dtype=np.float64)
         self.vertex_weights = np.asarray(vertex_weights, dtype=np.float64)
         self.name = name
+        self._edge_arrays_cache: Tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
         if _validate:
             self._validate()
 
@@ -112,10 +120,16 @@ class Graph:
 
         This is the workhorse accessor for objective evaluation: TIMER's
         ``Coco+`` is a single vectorized expression over these arrays.
+        Graphs are immutable, so the arrays are computed once and cached;
+        callers get the *same* arrays on every call and must not mutate
+        them (every ``coco_*`` evaluation used to rebuild them from
+        scratch, which dominated short enhancer runs).
         """
-        us = np.repeat(np.arange(self.n, dtype=np.int64), np.diff(self.indptr))
-        mask = us < self.indices
-        return us[mask], self.indices[mask], self.weights[mask]
+        if self._edge_arrays_cache is None:
+            us = np.repeat(np.arange(self.n, dtype=np.int64), np.diff(self.indptr))
+            mask = us < self.indices
+            self._edge_arrays_cache = (us[mask], self.indices[mask], self.weights[mask])
+        return self._edge_arrays_cache
 
     def has_edge(self, u: int, v: int) -> bool:
         return bool(np.isin(v, self.neighbors(u)).item()) if 0 <= u < self.n else False

@@ -16,6 +16,7 @@ import numpy as np
 from repro.errors import MappingError
 from repro.graphs.algorithms import all_pairs_distances, bfs_distances
 from repro.graphs.graph import Graph
+from repro.utils.bitops import bitwise_count
 from repro.utils.validation import as_int_array, check_assignment
 
 
@@ -54,7 +55,7 @@ def coco_from_labels(ga: Graph, labels_p_of_vertex: np.ndarray) -> float:
     """
     lab = np.asarray(labels_p_of_vertex, dtype=np.int64)
     us, vs, ws = ga.edge_arrays()
-    return float((ws * np.bitwise_count(lab[us] ^ lab[vs])).sum())
+    return float((ws * bitwise_count(lab[us] ^ lab[vs])).sum())
 
 
 def average_dilation(ga: Graph, gp: Graph, mu: np.ndarray) -> float:

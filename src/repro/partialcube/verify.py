@@ -11,6 +11,7 @@ import numpy as np
 
 from repro.graphs.algorithms import all_pairs_distances
 from repro.graphs.graph import Graph
+from repro.utils.bitops import bitwise_count
 
 
 def labeling_distance_error(g: Graph, labels: np.ndarray) -> int:
@@ -24,7 +25,7 @@ def labeling_distance_error(g: Graph, labels: np.ndarray) -> int:
     if labels.shape != (g.n,):
         raise ValueError(f"labels must have shape ({g.n},), got {labels.shape}")
     dist = all_pairs_distances(g)
-    ham = np.bitwise_count(labels[:, None] ^ labels[None, :])
+    ham = bitwise_count(labels[:, None] ^ labels[None, :])
     return int((ham != dist).sum()) // 2 + int(np.diag(ham != dist).sum())
 
 

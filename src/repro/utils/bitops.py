@@ -17,15 +17,38 @@ import numpy as np
 #: Maximum supported label width.  63 keeps labels inside signed int64.
 MAX_LABEL_BITS = 63
 
+#: Popcounts of all byte values; powers the numpy < 2.0 fallback.
+_POPCOUNT_TABLE = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
+
+
+def _bitwise_count_fallback(x) -> np.ndarray:
+    """Per-element popcount via a byte lookup table.
+
+    ``np.bitwise_count`` only exists from numpy 2.0; this fallback views
+    each int64 as 8 bytes and sums table lookups, which is the fastest
+    pure-numpy construction (cf. the classic unpackbits/LUT trick).  Only
+    non-negative values are meaningful -- labels never go negative.
+    """
+    arr = np.ascontiguousarray(np.atleast_1d(np.asarray(x)), dtype=np.int64)
+    by = arr.view(np.uint8).reshape(arr.shape + (8,))
+    out = _POPCOUNT_TABLE[by].sum(axis=-1, dtype=np.int64)
+    if np.ndim(x) == 0:
+        return out.reshape(())
+    return out
+
+
+#: ``bitwise_count(x)``: per-element popcount, native on numpy >= 2.0.
+bitwise_count = getattr(np, "bitwise_count", _bitwise_count_fallback)
+
 
 def popcount(x: np.ndarray) -> np.ndarray:
     """Number of set bits of each element of ``x`` (any integer dtype)."""
-    return np.bitwise_count(x)
+    return bitwise_count(x)
 
 
 def hamming(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Elementwise Hamming distance between packed bitvectors."""
-    return np.bitwise_count(np.bitwise_xor(a, b))
+    return bitwise_count(np.bitwise_xor(a, b))
 
 
 def bit_length_for(n: int) -> int:

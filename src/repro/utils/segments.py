@@ -1,0 +1,71 @@
+"""Reusable CSR segment reductions.
+
+The hot kernels of the library (batch swap deltas, contraction edge
+merging, per-vertex gain accumulation) all reduce an array of per-edge
+values into per-vertex (or per-run) aggregates described by a CSR-style
+``indptr``.  ``np.add.reduceat`` is the right primitive but has two sharp
+edges -- empty segments repeat the element at the segment start instead of
+yielding the identity, and a start index equal to ``len(values)`` raises --
+so every caller used to hand-roll the same guards.  This module centralizes
+the safe versions.
+
+All helpers take ``indptr`` of length ``n_segments + 1`` with
+``indptr[0] == 0`` and ``indptr[-1] == len(values)``, exactly the CSR
+convention of :class:`repro.graphs.graph.Graph`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _check_indptr(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+    indptr = np.asarray(indptr, dtype=np.int64)
+    if indptr.ndim != 1 or indptr.shape[0] < 1:
+        raise ValueError("indptr must be a 1-D array of length >= 1")
+    if indptr[0] != 0 or indptr[-1] != values.shape[0]:
+        raise ValueError(
+            f"indptr must span values exactly: indptr[0]={int(indptr[0])}, "
+            f"indptr[-1]={int(indptr[-1])}, len(values)={values.shape[0]}"
+        )
+    return indptr
+
+
+def segment_sum(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+    """Per-segment sums: ``out[i] = values[indptr[i]:indptr[i+1]].sum()``.
+
+    Empty segments sum to 0 (unlike raw ``np.add.reduceat``).
+    """
+    values = np.asarray(values)
+    indptr = _check_indptr(values, indptr)
+    n = indptr.shape[0] - 1
+    out = np.zeros(n, dtype=np.result_type(values.dtype))
+    if values.shape[0] == 0 or n == 0:
+        return out
+    counts = np.diff(indptr)
+    nonempty = counts > 0
+    # With empty segments dropped, consecutive non-empty starts delimit
+    # exactly the non-empty ranges, so reduceat is safe and exact.
+    out[nonempty] = np.add.reduceat(values, indptr[:-1][nonempty])
+    return out
+
+
+def build_csr(
+    n: int, us: np.ndarray, vs: np.ndarray, ws: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Symmetric CSR ``(indptr, indices, weights)`` from undirected edges.
+
+    Each edge ``{u, v, w}`` appears in both directions, matching the layout
+    of :class:`repro.graphs.graph.Graph`.  This is the single place the
+    swap kernels build adjacency from a hierarchy level's edge arrays.
+    """
+    us = np.asarray(us, dtype=np.int64)
+    vs = np.asarray(vs, dtype=np.int64)
+    ws = np.asarray(ws, dtype=np.float64)
+    src = np.concatenate([us, vs])
+    dst = np.concatenate([vs, us])
+    wt = np.concatenate([ws, ws])
+    order = np.argsort(src, kind="stable")
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(src, minlength=n), out=indptr[1:])
+    return indptr, dst[order], wt[order]

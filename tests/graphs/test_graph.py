@@ -126,3 +126,26 @@ class TestValidation:
                 np.asarray([0]),
                 np.asarray([1.0]),
             )
+
+
+class TestEdgeArraysCache:
+    """edge_arrays() is the hot accessor of every objective evaluation; it
+    must be computed once per (immutable) graph and reused."""
+
+    def test_second_call_returns_cached_arrays(self, triangle):
+        first = triangle.edge_arrays()
+        second = triangle.edge_arrays()
+        for a, b in zip(first, second):
+            assert a is b
+
+    def test_cache_content_correct(self, triangle):
+        us, vs, ws = triangle.edge_arrays()
+        edges = sorted(zip(us.tolist(), vs.tolist(), ws.tolist()))
+        assert edges == [(0, 1, 1.0), (0, 2, 3.0), (1, 2, 2.0)]
+        assert (us < vs).all()
+
+    def test_copies_do_not_share_cache(self, triangle):
+        original = triangle.edge_arrays()
+        dup = triangle.copy()
+        assert dup.edge_arrays()[0] is not original[0]
+        assert np.array_equal(dup.edge_arrays()[0], original[0])

@@ -126,3 +126,56 @@ class TestPaperTopologies:
     def test_dims(self, name, maker, dim):
         g = maker()
         assert partial_cube_labeling(g).dim == dim
+
+
+class TestVectorizedMatchesLoop:
+    """The batched side-test implementation must reproduce the sequential
+    per-class loop exactly on partial cubes (trees, grids, hypercubes)."""
+
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda: gen.random_tree(40, seed=2),
+            lambda: gen.random_tree(120, seed=9),
+            lambda: gen.path(17),
+            lambda: gen.star(12),
+            lambda: gen.complete_binary_tree(4),
+            lambda: gen.grid(5, 7),
+            lambda: gen.grid(3, 3, 3),
+            lambda: gen.hypercube(4),
+            lambda: gen.hypercube(6),
+            lambda: gen.cycle(10),
+            lambda: gen.torus(4, 6),
+        ],
+    )
+    def test_identical_classes(self, maker):
+        g = maker()
+        dist = all_pairs_distances(g)
+        ec_loop, cls_loop = djokovic_classes(g, dist, method="loop")
+        ec_vec, cls_vec = djokovic_classes(g, dist, method="vectorized")
+        assert np.array_equal(ec_loop, ec_vec)
+        assert cls_loop == cls_vec
+
+    def test_default_auto_matches_both(self, small_grid):
+        ec_default, cls_default = djokovic_classes(small_grid)
+        ec_vec, cls_vec = djokovic_classes(small_grid, method="vectorized")
+        assert np.array_equal(ec_default, ec_vec)
+        assert cls_default == cls_vec
+
+    def test_auto_falls_back_to_batch_on_many_classes(self):
+        # a 100-edge tree has 100 classes > the 64-class loop cap
+        t = gen.random_tree(101, seed=4)
+        ec_auto, cls_auto = djokovic_classes(t, method="auto")
+        ec_loop, cls_loop = djokovic_classes(t, method="loop")
+        assert np.array_equal(ec_auto, ec_loop)
+        assert cls_auto == cls_loop
+
+    def test_rejects_unknown_method(self, small_grid):
+        with pytest.raises(ValueError):
+            djokovic_classes(small_grid, method="gpu")
+
+    def test_vectorized_detects_overlap(self):
+        g = from_edges(5, [(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4)])
+        with pytest.raises(NotPartialCubeError) as exc:
+            djokovic_classes(g, method="vectorized")
+        assert exc.value.reason == "overlapping-classes"

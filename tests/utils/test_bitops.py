@@ -104,3 +104,38 @@ class TestBitListConversions:
     def test_rejects_overflow(self):
         with pytest.raises(ValueError):
             int_to_bits(4, 2)
+
+
+class TestBitwiseCountShim:
+    """The numpy < 2.0 compatibility shim must agree with the native op."""
+
+    def test_fallback_matches_native_on_samples(self):
+        from repro.utils.bitops import _bitwise_count_fallback, bitwise_count
+
+        x = np.asarray([0, 1, 2, 3, 255, 1 << 40, (1 << 63) - 1], dtype=np.int64)
+        assert np.array_equal(_bitwise_count_fallback(x), bitwise_count(x))
+
+    @given(st.lists(st.integers(min_value=0, max_value=(1 << 63) - 1), max_size=50))
+    def test_fallback_matches_python_bit_count(self, values):
+        from repro.utils.bitops import _bitwise_count_fallback
+
+        x = np.asarray(values, dtype=np.int64)
+        got = _bitwise_count_fallback(x)
+        assert got.tolist() == [v.bit_count() for v in values]
+
+    def test_fallback_preserves_shape(self):
+        from repro.utils.bitops import _bitwise_count_fallback
+
+        x = np.arange(12, dtype=np.int64).reshape(3, 4)
+        assert _bitwise_count_fallback(x).shape == (3, 4)
+
+    def test_fallback_scalar(self):
+        from repro.utils.bitops import _bitwise_count_fallback
+
+        assert int(_bitwise_count_fallback(np.int64(7))) == 3
+
+    def test_shim_is_native_on_numpy2(self):
+        from repro.utils import bitops
+
+        if hasattr(np, "bitwise_count"):
+            assert bitops.bitwise_count is np.bitwise_count

@@ -1,0 +1,63 @@
+"""Tests for the CSR segment-reduction helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.segments import build_csr, segment_sum
+
+
+class TestSegmentSum:
+    def test_basic(self):
+        values = np.asarray([1.0, 2.0, 3.0, 4.0, 5.0])
+        indptr = np.asarray([0, 2, 2, 5])
+        assert segment_sum(values, indptr).tolist() == [3.0, 0.0, 12.0]
+
+    def test_all_empty(self):
+        out = segment_sum(np.empty(0), np.asarray([0, 0, 0]))
+        assert out.tolist() == [0.0, 0.0]
+
+    def test_trailing_empty_segments(self):
+        # Raw reduceat would raise on a start index == len(values).
+        values = np.asarray([1.0, 2.0])
+        indptr = np.asarray([0, 2, 2, 2])
+        assert segment_sum(values, indptr).tolist() == [3.0, 0.0, 0.0]
+
+    def test_matches_python_reference(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            n_seg = int(rng.integers(1, 12))
+            counts = rng.integers(0, 6, size=n_seg)
+            indptr = np.concatenate([[0], np.cumsum(counts)])
+            values = rng.normal(size=int(indptr[-1]))
+            expect = [values[a:b].sum() for a, b in zip(indptr[:-1], indptr[1:])]
+            assert np.allclose(segment_sum(values, indptr), expect)
+
+    def test_rejects_mismatched_indptr(self):
+        with pytest.raises(ValueError):
+            segment_sum(np.asarray([1.0, 2.0]), np.asarray([0, 1]))
+
+
+class TestBuildCsr:
+    def test_round_trip_triangle(self):
+        us = np.asarray([0, 1, 0])
+        vs = np.asarray([1, 2, 2])
+        ws = np.asarray([1.0, 2.0, 3.0])
+        indptr, indices, weights = build_csr(3, us, vs, ws)
+        assert indptr.tolist() == [0, 2, 4, 6]
+        assert weights.sum() == 2 * ws.sum()
+        # neighbor sets per vertex
+        assert sorted(indices[0:2].tolist()) == [1, 2]
+        assert sorted(indices[2:4].tolist()) == [0, 2]
+        assert sorted(indices[4:6].tolist()) == [0, 1]
+
+    def test_isolated_vertices(self):
+        indptr, indices, weights = build_csr(4, np.asarray([1]), np.asarray([2]), np.asarray([5.0]))
+        assert indptr.tolist() == [0, 0, 1, 2, 2]
+        assert indices.tolist() == [2, 1]
+
+    def test_empty(self):
+        indptr, indices, weights = build_csr(
+            3, np.empty(0, np.int64), np.empty(0, np.int64), np.empty(0)
+        )
+        assert indptr.tolist() == [0, 0, 0, 0]
+        assert indices.size == 0
