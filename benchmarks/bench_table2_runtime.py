@@ -9,7 +9,6 @@ below 1 (TIMER comparable to partitioning, paper: ~0.33-1.05).
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.core.config import TimerConfig
 from repro.core.enhancer import timer_enhance

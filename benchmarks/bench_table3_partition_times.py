@@ -9,7 +9,6 @@ instance size.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.experiments.instances import generate_instance

@@ -15,13 +15,11 @@ Run:  python examples/custom_topology_tree.py
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro import TimerConfig, timer_enhance
 from repro.errors import NotPartialCubeError
 from repro.graphs import generators as gen
 from repro.graphs.builder import from_edges
-from repro.mapping import coco
 from repro.partialcube import is_partial_cube, partial_cube_labeling
 from repro.partitioning import partition_kway
 

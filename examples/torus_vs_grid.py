@@ -12,7 +12,6 @@ Run:  python examples/torus_vs_grid.py
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro import TimerConfig, timer_enhance
 from repro.graphs import generators as gen

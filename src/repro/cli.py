@@ -33,7 +33,6 @@ from repro.mapping.mapper import compute_initial_mapping
 from repro.mapping.objective import coco
 from repro.partialcube.djokovic import partial_cube_labeling
 from repro.partitioning.kway import partition_kway
-from repro.partitioning.partition import Partition
 
 
 def _load_graph(path: str) -> Graph:

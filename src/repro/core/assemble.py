@@ -34,23 +34,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.contraction import Level
-
-
-def _rank_within_groups(gids: np.ndarray) -> np.ndarray:
-    """Rank of each element within its group, by position order."""
-    if gids.size == 0:
-        return np.empty(0, dtype=np.int64)
-    order = np.argsort(gids, kind="stable")
-    g_sorted = gids[order]
-    is_start = np.empty(g_sorted.shape[0], dtype=bool)
-    is_start[0] = True
-    np.not_equal(g_sorted[1:], g_sorted[:-1], out=is_start[1:])
-    start_pos = np.nonzero(is_start)[0]
-    run_id = np.cumsum(is_start) - 1
-    ranks_sorted = np.arange(g_sorted.shape[0], dtype=np.int64) - start_pos[run_id]
-    ranks = np.empty_like(ranks_sorted)
-    ranks[order] = ranks_sorted
-    return ranks
+from repro.utils.segments import group_ranks
 
 
 def assemble(levels: list[Level], dim: int) -> np.ndarray:
@@ -99,12 +83,12 @@ def _assign_digit(
 
     ones = np.nonzero(pref == 1)[0]
     if ones.size:
-        ranks = _rank_within_groups(gid[ones])
+        ranks = group_ranks(gid[ones])
         overflow = ones[ranks >= capacity1[gid[ones]]]
         digit[overflow] = 0
     zeros = np.nonzero(pref == 0)[0]
     if zeros.size:
-        ranks = _rank_within_groups(gid[zeros])
+        ranks = group_ranks(gid[zeros])
         overflow = zeros[ranks >= capacity0[gid[zeros]]]
         digit[overflow] = 1
     return new | (digit << j)

@@ -16,6 +16,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.utils.segments import group_reduce_sum
+
 
 @dataclass
 class Level:
@@ -64,16 +66,10 @@ def contract_level(level: Level) -> Level:
     keep = cu != cv
     cu, cv, cw = cu[keep], cv[keep], level.ws[keep]
     if cu.size:
-        # Merge parallel edges: canonical key then reduceat over sorted runs.
+        # Merge parallel edges: canonical key, then one grouped sum.
         n_c = coarse_labels.shape[0]
-        lo = np.minimum(cu, cv)
-        hi = np.maximum(cu, cv)
-        keys = lo * n_c + hi
-        order = np.argsort(keys, kind="stable")
-        keys_sorted = keys[order]
-        w_sorted = cw[order]
-        uniq, starts = np.unique(keys_sorted, return_index=True)
-        merged_w = np.add.reduceat(w_sorted, starts)
+        keys = np.minimum(cu, cv) * n_c + np.maximum(cu, cv)
+        uniq, merged_w = group_reduce_sum(keys, cw)
         mu_ = uniq // n_c
         mv_ = uniq % n_c
     else:

@@ -9,7 +9,12 @@
   mapping algorithms).
 - :mod:`~repro.experiments.metrics` -- the min/mean/max quotient and
   geometric-mean machinery of §7.1.
-- :mod:`~repro.experiments.runner` -- the factorial driver.
+- :mod:`~repro.experiments.runner` -- the parallel, resumable factorial
+  driver (deterministic per-cell seeding; ``jobs=N`` == ``jobs=1``).
+- :mod:`~repro.experiments.store` -- content-addressed on-disk cell
+  records backing ``--resume``.
+- :mod:`~repro.experiments.matrix` -- declarative TOML/JSON scenario
+  matrices (builtin: ``paper``, ``widened``, ``smoke``).
 - :mod:`~repro.experiments.reporting` -- text/CSV rendering of Table 1/2/3
   and the Figure 5 series.
 - ``python -m repro.experiments`` -- command line entry point.
@@ -17,6 +22,7 @@
 
 from repro.experiments.topologies import (
     PAPER_TOPOLOGIES,
+    WIDENED_TOPOLOGIES,
     make_topology,
     topology_names,
 )
@@ -34,11 +40,19 @@ from repro.experiments.metrics import (
     geometric_std,
     summarize_cell,
 )
-from repro.experiments.runner import ExperimentConfig, run_experiment, CellResult
+from repro.experiments.runner import (
+    CellResult,
+    ExperimentConfig,
+    cell_identity,
+    run_experiment,
+)
+from repro.experiments.store import ArtifactStore, cell_key
+from repro.experiments.matrix import BUILTIN_SCENARIOS, Scenario, get_scenario, load_matrix
 from repro.experiments.claims import ClaimCheck, validate_paper_claims, render_claims
 
 __all__ = [
     "PAPER_TOPOLOGIES",
+    "WIDENED_TOPOLOGIES",
     "make_topology",
     "topology_names",
     "INSTANCES",
@@ -54,7 +68,14 @@ __all__ = [
     "summarize_cell",
     "ExperimentConfig",
     "run_experiment",
+    "cell_identity",
     "CellResult",
+    "ArtifactStore",
+    "cell_key",
+    "BUILTIN_SCENARIOS",
+    "Scenario",
+    "get_scenario",
+    "load_matrix",
     "ClaimCheck",
     "validate_paper_claims",
     "render_claims",

@@ -14,7 +14,7 @@ partition -> initial mapping -> TIMER -> metrics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 import numpy as np
 
@@ -68,6 +68,40 @@ class CaseRun:
             if self.baseline_seconds
             else float("inf")
         )
+
+    #: wall-clock fields -- honest measurements, excluded from the
+    #: deterministic section of stored cell records (see experiments.store)
+    TIMING_FIELDS = (
+        "timer_seconds",
+        "baseline_seconds",
+        "partition_seconds",
+        "mapping_seconds",
+    )
+
+    def to_payload(self) -> tuple[dict, dict]:
+        """Split into JSON-ready ``(data, timing)`` dicts.
+
+        ``data`` holds everything reproducible from the cell's derived
+        seed (quality metrics, identity echoes); ``timing`` holds the
+        wall-clock measurements.
+        """
+        data: dict = {}
+        timing: dict = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, (np.floating, float)):
+                value = float(value)
+            elif isinstance(value, np.integer):
+                value = int(value)
+            (timing if f.name in self.TIMING_FIELDS else data)[f.name] = value
+        return data, timing
+
+    @classmethod
+    def from_payload(cls, data: dict, timing: dict) -> "CaseRun":
+        """Inverse of :meth:`to_payload` (ignores unknown keys)."""
+        known = {f.name for f in fields(cls)}
+        merged = {k: v for k, v in {**data, **timing}.items() if k in known}
+        return cls(**merged)
 
 
 def run_case(

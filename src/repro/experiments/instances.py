@@ -116,6 +116,18 @@ def get_instance(name: str) -> InstanceSpec:
     return _BY_NAME[name]
 
 
+def instance_fingerprint(name: str) -> str:
+    """Stable recipe fingerprint for artifact-store cell identities.
+
+    Captures the Table-1 metadata the synthetic recipe is derived from,
+    so renaming-preserving recipe edits that change the target size or
+    kind invalidate cached cells (structural builder changes are covered
+    by the code-version component of the key).
+    """
+    spec = get_instance(name)
+    return f"{spec.paper_n}:{spec.paper_m}:{spec.kind}"
+
+
 def scaled_n(spec: InstanceSpec, divisor: int, n_min: int = 384, n_max: int = 4096) -> int:
     """Vertex budget for ``spec`` under a scale divisor."""
     return int(np.clip(spec.paper_n // divisor, n_min, n_max))

@@ -41,6 +41,10 @@ class MinMeanMax:
 
         return MinMeanMax(q(self.min, other.min), q(self.mean, other.mean), q(self.max, other.max))
 
+    def to_dict(self) -> dict:
+        """Plain-dict form for JSON reports and artifact uploads."""
+        return {"min": self.min, "mean": self.mean, "max": self.max}
+
 
 @dataclass(frozen=True)
 class QuotientSummary:
@@ -49,6 +53,14 @@ class QuotientSummary:
     q_time: MinMeanMax
     q_cut: MinMeanMax
     q_coco: MinMeanMax
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for JSON reports and artifact uploads."""
+        return {
+            "q_time": self.q_time.to_dict(),
+            "q_cut": self.q_cut.to_dict(),
+            "q_coco": self.q_coco.to_dict(),
+        }
 
 
 def summarize_cell(

@@ -8,9 +8,12 @@ share one formatting path.
 from __future__ import annotations
 
 import io
+import json
+from dataclasses import asdict
 
 import numpy as np
 
+from repro._version import __version__
 from repro.experiments.cases import CASES
 from repro.experiments.instances import INSTANCES, generate_instance
 from repro.experiments.metrics import geometric_mean
@@ -159,6 +162,64 @@ def render_summary(result: ExperimentResult) -> str:
                     f"{fam}: average Coco improvement {1 - float(np.mean(vals)):.1%}\n"
                 )
     return buf.getvalue()
+
+
+def render_provenance(result: ExperimentResult, store: str | None = None) -> str:
+    """How the sweep executed: shape, worker count, cache reuse.
+
+    The companion to ``--resume``: after a restart this is where "zero
+    recomputed cells" becomes visible.
+    """
+    cfg = result.config
+    total = result.cells_computed + result.cells_cached
+    buf = io.StringIO()
+    buf.write("Sweep provenance\n")
+    buf.write(
+        f"  grid: {len(cfg.resolved_instances())} instances x "
+        f"{len(cfg.topologies)} topologies x {len(cfg.cases)} cases x "
+        f"{cfg.repetitions} reps = {total} cells\n"
+    )
+    buf.write(
+        f"  executed: {result.cells_computed} computed, "
+        f"{result.cells_cached} replayed from store\n"
+    )
+    buf.write(f"  jobs: {result.jobs}\n")
+    buf.write(f"  store: {store if store else '(none)'}\n")
+    buf.write(f"  seed: {cfg.seed}  code: {__version__}\n")
+    return buf.getvalue()
+
+
+def render_json(result: ExperimentResult) -> str:
+    """Machine-readable aggregate (CI artifacts, external plotting).
+
+    Everything Table 2 / Figure 5 need, plus per-cell quotient summaries
+    and execution provenance, as one JSON document.
+    """
+    doc = {
+        "config": asdict(result.config),
+        "provenance": {
+            "jobs": result.jobs,
+            "cells_computed": result.cells_computed,
+            "cells_cached": result.cells_cached,
+            "code": __version__,
+        },
+        "instances": {
+            name: {"n": n, "m": m}
+            for name, (n, m) in sorted(result.instance_stats.items())
+        },
+        "aggregate": result.aggregate(),
+        "cells": [
+            {
+                "instance": cell.instance,
+                "topology": cell.topology,
+                "case": cell.case,
+                "repetitions": len(cell.runs),
+                "summary": cell.summary().to_dict(),
+            }
+            for cell in result.cells
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
 
 
 def to_csv(result: ExperimentResult) -> str:

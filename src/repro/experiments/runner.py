@@ -1,32 +1,68 @@
-"""Factorial experiment driver.
+"""Parallel, resumable factorial experiment driver.
 
 Runs (instances x topologies x cases x repetitions), sharing partitions
 across cases and topologies with equal PE counts -- exactly as the paper
 shares one KaHIP partition per (instance, |V_p|) across the mapping
 baselines.  Results come back both raw (:class:`CellResult` per cell) and
 aggregated (Table 2 / Figure 5 structures).
+
+Orchestration design (ISSUE 2)
+------------------------------
+Every randomized step seeds itself from the *identity* of what it
+computes, not from its position in an execution order:
+
+- instance generation from ``(seed, "instance", name, rep)``,
+- partitioning from ``(seed, "partition", name, rep, k)``,
+- each cell's mapping + TIMER from ``(seed, "case", name, rep, topology,
+  case)``,
+
+all via :func:`repro.utils.rng.derive_seed_sequence`.  Execution order
+therefore cannot influence any result: ``jobs=N`` is byte-identical to
+``jobs=1`` (deterministic sections; wall-clock timings are honest and
+excluded), dropping a topology from the sweep never perturbs the others,
+and adding repetitions never reshuffles earlier ones.
+
+The unit of parallel work is one ``(instance, repetition)`` *task* --
+large enough to amortize instance generation and to preserve the paper's
+partition sharing across the task's topologies and cases, small enough
+that a laptop sweep saturates a handful of workers.  Tasks go to a
+``multiprocessing`` pool (fork on Linux, spawn elsewhere; the choice
+cannot affect results); results come back in submission order.
+
+With an :class:`~repro.experiments.store.ArtifactStore` attached, every
+completed cell is persisted as one JSON record and ``resume=True`` skips
+cells whose record already exists -- an interrupted sweep restarts where
+it died, and a finished sweep replays instantly from disk.
 """
 
 from __future__ import annotations
 
+import multiprocessing as mp
+import sys
 from dataclasses import dataclass, field
-
-import numpy as np
+from pathlib import Path
 
 from repro.core.config import TimerConfig
+from repro.errors import ConfigurationError
 from repro.experiments.cases import CASES, CaseRun, run_case
-from repro.experiments.instances import generate_instance, instance_names
+from repro.experiments.instances import (
+    generate_instance,
+    get_instance,
+    instance_fingerprint,
+    instance_names,
+)
 from repro.experiments.metrics import (
     QuotientSummary,
     aggregate_over_instances,
     summarize_cell,
 )
-from repro.experiments.topologies import PAPER_TOPOLOGIES, make_topology
-from repro.graphs.graph import Graph
+from repro.experiments.store import STORE_SCHEMA, ArtifactStore, cell_key
+from repro.experiments.topologies import PAPER_TOPOLOGIES, make_topology, topology_names
 from repro.partitioning.kway import partition_kway
 from repro.partitioning.partition import Partition
-from repro.utils.rng import spawn_rngs
+from repro.utils.rng import derive_rng, derive_seed
 from repro.utils.stopwatch import Stopwatch
+from repro._version import __version__
 
 
 @dataclass(frozen=True)
@@ -84,6 +120,9 @@ class ExperimentResult:
     cells: list = field(default_factory=list)
     partition_times: dict = field(default_factory=dict)  # (instance, k) -> [s]
     instance_stats: dict = field(default_factory=dict)  # name -> (n, m)
+    cells_computed: int = 0  # cell repetitions executed this run
+    cells_cached: int = 0  # cell repetitions replayed from the store
+    jobs: int = 1
 
     def aggregate(self) -> dict:
         """``{topology: {case: {q_time/q_cut/q_coco: {...}}}}``."""
@@ -101,60 +140,217 @@ class ExperimentResult:
         return out
 
 
-def run_experiment(config: ExperimentConfig) -> ExperimentResult:
-    """Execute the sweep described by ``config``."""
-    result = ExperimentResult(config=config)
-    instances = config.resolved_instances()
-    # Independent RNG per (instance, repetition); topology/case reuse the
-    # same partition within a repetition, like the paper.
-    streams = spawn_rngs(config.seed, len(instances) * config.repetitions)
+def cell_identity(
+    config: ExperimentConfig, instance: str, rep: int, topology: str, case: str
+) -> dict:
+    """The store-key material of one cell repetition.
+
+    Only result-relevant knobs enter: execution parameters (worker count,
+    verbosity) and the *other* axes of the sweep are excluded, so growing
+    a sweep (more topologies, more reps) reuses every already-stored
+    cell.
+    """
+    return {
+        "schema": STORE_SCHEMA,
+        "code": __version__,
+        "instance": instance,
+        "instance_fingerprint": instance_fingerprint(instance),
+        "topology": topology,
+        "case": case,
+        "rep": rep,
+        "seed": config.seed,
+        "n_hierarchies": config.n_hierarchies,
+        "epsilon": config.epsilon,
+        "divisor": config.divisor,
+        "n_min": config.n_min,
+        "n_max": config.n_max,
+    }
+
+
+@dataclass(frozen=True)
+class _Task:
+    """One worker unit: the missing cells of an (instance, repetition)."""
+
+    config: ExperimentConfig
+    instance: str
+    rep: int
+    cells: tuple  # ((topology, case), ...) in sweep order
+
+
+def _run_task(task: _Task) -> list:
+    """Execute a task's cells; returns ``[(key, record), ...]``.
+
+    Runs inside a worker process (or inline for ``jobs=1`` -- same code
+    path either way).  All seeds derive from cell identities, so the
+    records are independent of scheduling.
+    """
+    config = task.config
+    inst_seed = derive_seed(config.seed, "instance", task.instance, task.rep)
+    ga = generate_instance(
+        task.instance,
+        seed=inst_seed,
+        divisor=config.divisor,
+        n_min=config.n_min,
+        n_max=config.n_max,
+    )
     timer_cfg = TimerConfig(n_hierarchies=config.n_hierarchies)
+    # One partition per PE count needed by this task's cells, shared by
+    # all its topologies/cases -- the paper's sharing, now per task.
+    partitions: dict[int, tuple[Partition, float]] = {}
+    out = []
+    for topo_name, case in task.cells:
+        gp, pc = make_topology(topo_name)
+        if gp.n not in partitions:
+            rng = derive_rng(config.seed, "partition", task.instance, task.rep, gp.n)
+            sw = Stopwatch()
+            with sw:
+                part = partition_kway(ga, gp.n, epsilon=config.epsilon, seed=rng)
+            partitions[gp.n] = (part, sw.elapsed)
+        part, part_secs = partitions[gp.n]
+        case_seed = derive_seed(
+            config.seed, "case", task.instance, task.rep, topo_name, case
+        )
+        run, _ = run_case(
+            case,
+            ga,
+            gp,
+            pc,
+            part,
+            part_secs,
+            topo_name,
+            seed=case_seed,
+            timer_config=timer_cfg,
+        )
+        identity = cell_identity(config, task.instance, task.rep, topo_name, case)
+        data, timing = run.to_payload()
+        data.update(instance_n=ga.n, instance_m=ga.m, pe_count=gp.n)
+        record = {"schema": STORE_SCHEMA, "identity": identity, "data": data,
+                  "timing": timing}
+        out.append((cell_key(identity), record))
+    return out
 
-    topo_objs = {name: make_topology(name) for name in config.topologies}
-    pe_counts = sorted({gp.n for gp, _ in topo_objs.values()})
 
-    for inst_idx, inst_name in enumerate(instances):
-        for rep in range(config.repetitions):
-            rng = streams[inst_idx * config.repetitions + rep]
-            inst_seed = int(rng.integers(0, 2**31 - 1))
-            ga = generate_instance(
-                inst_name,
-                seed=inst_seed,
-                divisor=config.divisor,
-                n_min=config.n_min,
-                n_max=config.n_max,
+def _validate_config(config: ExperimentConfig) -> None:
+    known_topologies = set(topology_names())
+    for name in config.topologies:
+        if name not in known_topologies:
+            raise ConfigurationError(
+                f"unknown topology {name!r}; known: {', '.join(sorted(known_topologies))}"
             )
-            result.instance_stats[inst_name] = (ga.n, ga.m)
-            # One partition per PE count, shared by all topologies/cases.
-            partitions: dict[int, tuple[Partition, float]] = {}
-            for k in pe_counts:
-                sw = Stopwatch()
-                with sw:
-                    part = partition_kway(ga, k, epsilon=config.epsilon, seed=rng)
-                partitions[k] = (part, sw.elapsed)
-                result.partition_times.setdefault((inst_name, k), []).append(sw.elapsed)
-            for topo_name in config.topologies:
-                gp, pc = topo_objs[topo_name]
-                part, part_secs = partitions[gp.n]
-                for case in config.cases:
-                    run, _ = run_case(
-                        case,
-                        ga,
-                        gp,
-                        pc,
-                        part,
-                        part_secs,
-                        topo_name,
-                        seed=int(rng.integers(0, 2**31 - 1)),
-                        timer_config=timer_cfg,
+    for case in config.cases:
+        if case not in CASES:
+            raise ConfigurationError(
+                f"unknown case {case!r}; known: {', '.join(CASES)}"
+            )
+    for name in config.resolved_instances():
+        get_instance(name)  # raises KeyError with the known names
+    if config.repetitions < 1:
+        raise ConfigurationError(
+            f"repetitions must be >= 1, got {config.repetitions}"
+        )
+
+
+def _execute(tasks: list, jobs: int) -> list:
+    """Run tasks inline or on a spawn pool; outputs in task order."""
+    if jobs <= 1 or len(tasks) <= 1:
+        return [_run_task(t) for t in tasks]
+    # Determinism never depends on the start method -- every seed derives
+    # from a cell identity -- so use "fork" on Linux: workers share the
+    # parent's imports and topology-labeling cache, and it works when the
+    # parent has no importable __main__ (REPL, stdin).  Everywhere else
+    # (macOS forks crash under Accelerate/ObjC, hence CPython's own
+    # default) fall back to "spawn".
+    use_fork = sys.platform.startswith("linux") and "fork" in mp.get_all_start_methods()
+    ctx = mp.get_context("fork" if use_fork else "spawn")
+    with ctx.Pool(processes=min(jobs, len(tasks))) as pool:
+        return pool.map(_run_task, tasks, chunksize=1)
+
+
+def run_experiment(
+    config: ExperimentConfig,
+    jobs: int = 1,
+    store: ArtifactStore | str | Path | None = None,
+    resume: bool = False,
+) -> ExperimentResult:
+    """Execute the sweep described by ``config``.
+
+    Parameters
+    ----------
+    jobs:
+        worker processes; ``1`` runs inline.  Any value yields
+        byte-identical deterministic results.
+    store:
+        an :class:`ArtifactStore` (or its root path) that persists every
+        completed cell.  Without a store nothing is written.
+    resume:
+        reuse store records whose identity matches instead of
+        recomputing (requires ``store``).
+    """
+    _validate_config(config)
+    if resume and store is None:
+        raise ConfigurationError("resume=True requires an artifact store")
+    if store is not None and not isinstance(store, ArtifactStore):
+        store = ArtifactStore(store)
+
+    instances = config.resolved_instances()
+    reps = range(config.repetitions)
+    grid = [(t, c) for t in config.topologies for c in config.cases]
+
+    cached: dict[tuple, dict] = {}  # (instance, rep, topo, case) -> record
+    tasks: list[_Task] = []
+    for inst_name in instances:
+        for rep in reps:
+            missing = []
+            for topo_name, case in grid:
+                if store is not None and resume:
+                    identity = cell_identity(config, inst_name, rep, topo_name, case)
+                    record = store.get(cell_key(identity))
+                    if record is not None and record.get("identity") == identity:
+                        cached[(inst_name, rep, topo_name, case)] = record
+                        continue
+                missing.append((topo_name, case))
+            if missing:
+                tasks.append(_Task(config, inst_name, rep, tuple(missing)))
+
+    fresh: dict[tuple, dict] = {}
+    for task, outputs in zip(tasks, _execute(tasks, jobs)):
+        for (topo_name, case), (key, record) in zip(task.cells, outputs):
+            fresh[(task.instance, task.rep, topo_name, case)] = record
+            if store is not None:
+                store.put(key, record)
+
+    result = ExperimentResult(
+        config=config,
+        cells_computed=len(fresh),
+        cells_cached=len(cached),
+        jobs=max(1, int(jobs)),
+    )
+    seen_partitions: set[tuple] = set()
+    for inst_name in instances:
+        for rep in reps:
+            for topo_name, case in grid:
+                ident = (inst_name, rep, topo_name, case)
+                record = fresh.get(ident) or cached[ident]
+                data, timing = record["data"], record["timing"]
+                run = CaseRun.from_payload(data, timing)
+                _record(result, inst_name, topo_name, case, run)
+                result.instance_stats[inst_name] = (
+                    data["instance_n"],
+                    data["instance_m"],
+                )
+                pk = (inst_name, rep, data["pe_count"])
+                if pk not in seen_partitions:
+                    seen_partitions.add(pk)
+                    result.partition_times.setdefault(
+                        (inst_name, data["pe_count"]), []
+                    ).append(timing["partition_seconds"])
+                if config.verbose:
+                    origin = "cache" if ident in cached else "run"
+                    print(
+                        f"[{inst_name} rep{rep} {topo_name} {case} {origin}] "
+                        f"qCo={run.coco_quotient:.3f} qCut={run.cut_quotient:.3f} "
+                        f"qT={run.time_quotient:.2f}"
                     )
-                    _record(result, inst_name, topo_name, case, run)
-                    if config.verbose:
-                        print(
-                            f"[{inst_name} rep{rep} {topo_name} {case}] "
-                            f"qCo={run.coco_quotient:.3f} qCut={run.cut_quotient:.3f} "
-                            f"qT={run.time_quotient:.2f}"
-                        )
     return result
 
 

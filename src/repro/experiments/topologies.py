@@ -34,6 +34,17 @@ PAPER_TOPOLOGIES: tuple[str, ...] = (
     "hq8",
 )
 
+#: Widened scenario set beyond the paper's grid/torus/hypercube matrix:
+#: a fat-tree (largest complete binary switch tree under the 63-class
+#: packed-label limit), a partial-cube dragonfly (8 groups of 32-router
+#: hypercubes on a global ring, 256 PEs) and an anisotropic 3-D torus
+#: (256 PEs).  See :mod:`repro.graphs.generators.interconnects`.
+WIDENED_TOPOLOGIES: tuple[str, ...] = (
+    "fattree2x5",
+    "dragonfly8x5",
+    "torus8x8x4",
+)
+
 _BUILDERS: dict[str, Callable[[], Graph]] = {
     # paper set
     "grid16x16": lambda: gen.grid(16, 16),
@@ -41,7 +52,13 @@ _BUILDERS: dict[str, Callable[[], Graph]] = {
     "torus16x16": lambda: gen.torus(16, 16),
     "torus8x8x8": lambda: gen.torus(8, 8, 8),
     "hq8": lambda: gen.hypercube(8),
+    # widened interconnect set (ISSUE 2): fat-tree, dragonfly, 3-D torus
+    "fattree2x5": lambda: gen.fat_tree(2, 5),
+    "fattree4x2": lambda: gen.fat_tree(4, 2),
+    "dragonfly8x5": lambda: gen.dragonfly(8, 5),
+    "torus8x8x4": lambda: gen.torus(8, 8, 4),
     # small variants for tests, docs and quick examples
+    "dragonfly4x2": lambda: gen.dragonfly(4, 2),
     "grid4x4": lambda: gen.grid(4, 4),
     "grid8x8": lambda: gen.grid(8, 8),
     "grid4x4x4": lambda: gen.grid(4, 4, 4),

@@ -184,27 +184,26 @@ def is_bipartite(g: Graph) -> bool:
 
 
 def diameter(g: Graph) -> int:
-    """Exact diameter via all-pairs BFS (meant for processor graphs)."""
+    """Exact diameter via the bit-packed all-pairs BFS (processor graphs)."""
     if g.n == 0:
         return 0
-    best = 0
-    for v in range(g.n):
-        d = bfs_distances(g, v)
-        if (d < 0).any():
-            raise ValueError("diameter undefined: graph is disconnected")
-        best = max(best, int(d.max()))
-    return best
+    dist = all_pairs_distances(g)
+    if (dist == UNREACHED).any():
+        raise ValueError("diameter undefined: graph is disconnected")
+    return int(dist.max())
 
 
 def eccentricity_center(g: Graph) -> int:
-    """A vertex of minimum eccentricity (used to seed greedy mapping)."""
-    best_v, best_ecc = 0, None
-    for v in range(g.n):
-        d = bfs_distances(g, v)
-        ecc = int(d.max())
-        if best_ecc is None or ecc < best_ecc:
-            best_v, best_ecc = v, ecc
-    return best_v
+    """A vertex of minimum eccentricity (used to seed greedy mapping).
+
+    Computed from one bit-packed all-pairs BFS instead of ``n`` scalar
+    BFS runs; ties resolve to the lowest vertex id, matching the
+    per-source loop this replaces.
+    """
+    if g.n == 0:
+        return 0
+    ecc = all_pairs_distances(g).max(axis=1)
+    return int(np.argmin(ecc))
 
 
 def weighted_degree(g: Graph) -> np.ndarray:

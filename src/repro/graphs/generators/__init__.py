@@ -4,7 +4,8 @@ Two families:
 
 - **Processor topologies** (deterministic partial cubes): :func:`grid`,
   :func:`torus`, :func:`hypercube`, :func:`random_tree`, :func:`path`,
-  :func:`star`, :func:`complete_binary_tree`.
+  :func:`star`, :func:`complete_binary_tree`, :func:`fat_tree`,
+  :func:`dragonfly`.
 - **Application workloads** (randomized complex-network models standing in
   for the paper's SNAP/DIMACS instances): :func:`erdos_renyi`,
   :func:`barabasi_albert`, :func:`watts_strogatz`, :func:`powerlaw_cluster`,
@@ -19,6 +20,7 @@ from repro.graphs.generators.trees import (
     star,
     caterpillar,
 )
+from repro.graphs.generators.interconnects import fat_tree, dragonfly
 from repro.graphs.generators.random_graphs import (
     erdos_renyi,
     barabasi_albert,
@@ -38,6 +40,8 @@ __all__ = [
     "complete_binary_tree",
     "star",
     "caterpillar",
+    "fat_tree",
+    "dragonfly",
     "erdos_renyi",
     "barabasi_albert",
     "watts_strogatz",

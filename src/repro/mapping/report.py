@@ -14,10 +14,7 @@ import numpy as np
 
 from repro.graphs.graph import Graph
 from repro.mapping.objective import (
-    average_dilation,
-    coco_from_distances,
     congestion_estimate,
-    maximum_dilation,
     network_cost_matrix,
 )
 from repro.partitioning.metrics import edge_cut

@@ -7,7 +7,7 @@ the mapping layer build communication graphs without re-plumbing.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

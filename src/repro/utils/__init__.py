@@ -1,6 +1,6 @@
 """Shared low-level utilities: RNG handling, bit operations, validation."""
 
-from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.rng import derive_rng, derive_seed, derive_seed_sequence, make_rng, spawn_rngs
 from repro.utils.bitops import (
     popcount,
     hamming,
@@ -14,6 +14,9 @@ from repro.utils.stopwatch import Stopwatch
 __all__ = [
     "make_rng",
     "spawn_rngs",
+    "derive_rng",
+    "derive_seed",
+    "derive_seed_sequence",
     "popcount",
     "hamming",
     "bit_length_for",

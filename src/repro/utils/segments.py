@@ -50,6 +50,55 @@ def segment_sum(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
     return out
 
 
+def group_reduce_sum(
+    keys: np.ndarray, values: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sum ``values`` grouped by ``keys``: ``(unique_keys, sums)``.
+
+    The sort/unique/reduceat idiom that contraction (parallel-edge
+    merging) and several kernels previously hand-rolled; ``unique_keys``
+    comes back sorted ascending and ``sums[i]`` is the total of the
+    values whose key equals ``unique_keys[i]``.
+    """
+    keys = np.asarray(keys)
+    values = np.asarray(values)
+    if keys.shape != values.shape:
+        raise ValueError(
+            f"keys and values must align: {keys.shape} vs {values.shape}"
+        )
+    if keys.size == 0:
+        return keys.copy(), values.copy()
+    order = np.argsort(keys, kind="stable")
+    keys_sorted = keys[order]
+    uniq, starts = np.unique(keys_sorted, return_index=True)
+    indptr = np.concatenate([starts, [keys.shape[0]]])
+    return uniq, segment_sum(values[order], indptr)
+
+
+def group_ranks(keys: np.ndarray) -> np.ndarray:
+    """Rank of each element within its key group, in position order.
+
+    ``out[i]`` counts the earlier positions ``j < i`` with ``keys[j] ==
+    keys[i]``.  Used by the label assembler to grant per-suffix digit
+    capacities in vertex order; extracted here because it is the same
+    stable-sort run-decomposition that underlies the other helpers.
+    """
+    keys = np.asarray(keys)
+    if keys.size == 0:
+        return np.empty(0, dtype=np.int64)
+    order = np.argsort(keys, kind="stable")
+    k_sorted = keys[order]
+    is_start = np.empty(k_sorted.shape[0], dtype=bool)
+    is_start[0] = True
+    np.not_equal(k_sorted[1:], k_sorted[:-1], out=is_start[1:])
+    start_pos = np.nonzero(is_start)[0]
+    run_id = np.cumsum(is_start) - 1
+    ranks_sorted = np.arange(k_sorted.shape[0], dtype=np.int64) - start_pos[run_id]
+    ranks = np.empty_like(ranks_sorted)
+    ranks[order] = ranks_sorted
+    return ranks
+
+
 def build_csr(
     n: int, us: np.ndarray, vs: np.ndarray, ws: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:

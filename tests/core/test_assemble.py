@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.core.assemble import assemble, _rank_within_groups
+from repro.core.assemble import assemble
+from repro.utils.segments import group_ranks
 from repro.core.contraction import contract_level, make_finest_level
 from repro.core.swaps import swap_pass
 from repro.graphs import generators as gen
@@ -22,10 +23,10 @@ def _build_levels(graph, labels, dim, swap_signs=None, sweeps=1):
 class TestRankWithinGroups:
     def test_basic(self):
         gids = np.asarray([0, 1, 0, 1, 0])
-        assert _rank_within_groups(gids).tolist() == [0, 0, 1, 1, 2]
+        assert group_ranks(gids).tolist() == [0, 0, 1, 1, 2]
 
     def test_empty(self):
-        assert _rank_within_groups(np.asarray([], dtype=np.int64)).size == 0
+        assert group_ranks(np.asarray([], dtype=np.int64)).size == 0
 
 
 class TestIdentityProperty:

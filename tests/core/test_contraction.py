@@ -1,10 +1,8 @@
 """Tests for label-driven contraction (paper section 6, Figure 4)."""
 
 import numpy as np
-import pytest
 
 from repro.core.contraction import (
-    Level,
     build_hierarchy,
     contract_level,
     make_finest_level,

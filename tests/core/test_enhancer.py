@@ -5,8 +5,6 @@ import pytest
 
 from repro.core.config import TimerConfig
 from repro.core.enhancer import timer_enhance
-from repro.core.labels import build_application_labeling
-from repro.core.objective import coco_plus
 from repro.errors import ConfigurationError
 from repro.graphs import generators as gen
 from repro.mapping.objective import coco

@@ -12,7 +12,6 @@ diverse conflict structures (hubs, chains, isolated pairs).
 import numpy as np
 import pytest
 
-from repro.core import kernels
 from repro.core.contraction import contract_level, make_finest_level
 from repro.core.kernels import (
     available_backends,

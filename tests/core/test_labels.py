@@ -6,7 +6,6 @@ import pytest
 from repro.errors import MappingError
 from repro.graphs import generators as gen
 from repro.core.labels import (
-    ApplicationLabeling,
     build_application_labeling,
     dim_extension,
 )
@@ -95,8 +94,7 @@ class TestBuildLabeling:
         # Tree topology with dim 40 + large blocks would exceed 63 bits.
         gp = gen.star(40)  # dim 40
         pc = partial_cube_labeling(gp)
-        ga = gen.barabasi_albert(41 * 2**25 // 2**25, 2, seed=0) if False else None
-        # cheaper: fake mu with a huge block via tiny ga but forced dim_e
+        # fake mu with one huge block via a tiny ga
         ga2 = gen.path(50)
         mu = np.zeros(50, dtype=np.int64)  # one block of 50 -> dim_e 6; 40+6 ok
         app = build_application_labeling(ga2, pc, mu, seed=0)

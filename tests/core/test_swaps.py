@@ -6,7 +6,6 @@ import pytest
 from repro.core.contraction import make_finest_level
 from repro.core.objective import coco_plus_signed
 from repro.core.swaps import build_adjacency, sibling_pairs, swap_pass
-from repro.graphs import generators as gen
 from repro.graphs.builder import from_edges
 
 

@@ -1,6 +1,5 @@
 """Tests for the ASCII Figure-5 chart."""
 
-import pytest
 
 from repro.experiments.ascii_chart import SCALE, bar_for, render_fig5_chart
 

@@ -1,7 +1,5 @@
 """Tests for the programmatic §7.2 claim checks."""
 
-import numpy as np
-import pytest
 
 from repro.experiments.cases import CaseRun
 from repro.experiments.claims import (

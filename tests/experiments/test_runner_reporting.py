@@ -1,10 +1,9 @@
 """Tests for the experiment runner, reporting and CLI (small factorials)."""
 
-import numpy as np
 import pytest
 
 from repro.experiments.cases import CASES, run_case
-from repro.experiments.cli import build_parser, main
+from repro.experiments.cli import build_parser, main, resolve_config
 from repro.experiments.reporting import (
     render_fig5,
     render_summary,
@@ -127,8 +126,19 @@ class TestReporting:
 
 class TestCli:
     def test_parser_defaults(self):
+        # Sizing flags default to "unset" so scenarios can fill them in;
+        # the resolved config must still match the historical defaults.
         args = build_parser().parse_args(["table2"])
-        assert args.reps == 3 and args.nh == 8
+        assert args.reps is None and args.nh is None
+        config = resolve_config(args)
+        assert config.repetitions == 3 and config.n_hierarchies == 8
+        assert config.divisor == 64 and config.seed == 2018
+
+    def test_flags_override_scenario(self):
+        args = build_parser().parse_args(["table2", "--scenario", "smoke", "--reps", "7"])
+        config = resolve_config(args)
+        assert config.repetitions == 7  # explicit flag wins
+        assert config.n_hierarchies == 2  # from the smoke scenario
 
     def test_table1_runs(self, capsys):
         rc = main(["table1", "--divisor", "1024"])

@@ -1,0 +1,142 @@
+"""Tests for the content-addressed cell artifact store."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.store import (
+    STORE_SCHEMA,
+    ArtifactStore,
+    canonical_json,
+    cell_key,
+    deterministic_bytes,
+)
+
+
+def _record(tag="a", value=1.5):
+    identity = {"schema": STORE_SCHEMA, "instance": tag, "rep": 0}
+    return cell_key(identity), {
+        "schema": STORE_SCHEMA,
+        "identity": identity,
+        "data": {"coco_after": value},
+        "timing": {"timer_seconds": 0.123},
+    }
+
+
+class TestCanonicalJson:
+    def test_key_order_invariant(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+    def test_float_round_trip(self):
+        x = 0.1 + 0.2  # not exactly 0.3
+        assert json.loads(canonical_json({"x": x}))["x"] == x
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            canonical_json({"x": float("nan")})
+
+
+class TestCellKey:
+    def test_stable(self):
+        identity = {"instance": "pgp", "rep": 1, "seed": 2018}
+        assert cell_key(identity) == cell_key(dict(reversed(identity.items())))
+
+    def test_sensitive_to_values(self):
+        assert cell_key({"seed": 1}) != cell_key({"seed": 2})
+
+
+class TestArtifactStore:
+    def test_put_get_round_trip(self, tmp_path):
+        store = ArtifactStore(tmp_path / "cells")
+        key, record = _record()
+        assert store.get(key) is None
+        assert key not in store
+        path = store.put(key, record)
+        assert path.is_file()
+        assert store.get(key) == record
+        assert key in store
+
+    def test_sharded_layout(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key, record = _record()
+        path = store.put(key, record)
+        assert path.parent.name == key[:2]
+        assert path.name == f"{key}.json"
+
+    def test_keys_and_len(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        keys = set()
+        for i in range(5):
+            key, record = _record(tag=f"inst{i}")
+            store.put(key, record)
+            keys.add(key)
+        assert set(store.keys()) == keys
+        assert len(store) == 5
+
+    def test_corrupt_record_is_a_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key, record = _record()
+        path = store.put(key, record)
+        path.write_text("{ not json", encoding="utf-8")
+        assert store.get(key) is None
+
+    def test_wrong_shape_is_a_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key, record = _record()
+        path = store.put(key, record)
+        path.write_text('{"identity": {}}', encoding="utf-8")
+        assert store.get(key) is None
+
+    @pytest.mark.parametrize("missing", ["identity", "data", "timing"])
+    def test_missing_section_is_a_miss(self, tmp_path, missing):
+        # A parseable record lacking any section must degrade to a
+        # recompute, never crash a resumed sweep downstream.
+        store = ArtifactStore(tmp_path)
+        key, record = _record()
+        del record[missing]
+        store.put(key, record)
+        assert store.get(key) is None
+
+    def test_overwrite_is_atomic_no_temp_residue(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key, record = _record()
+        store.put(key, record)
+        store.put(key, record)
+        leftovers = [p for p in tmp_path.rglob("*") if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_canonical_bytes_on_disk(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key, record = _record()
+        path = store.put(key, record)
+        assert path.read_bytes() == canonical_json(record).encode("utf-8")
+
+    def test_creates_root(self, tmp_path):
+        root = tmp_path / "deep" / "nested"
+        ArtifactStore(root)
+        assert root.is_dir()
+
+
+class TestDeterministicBytes:
+    def test_excludes_timing(self):
+        key, a = _record()
+        _, b = _record()
+        b["timing"] = {"timer_seconds": 99.0}
+        assert deterministic_bytes(a) == deterministic_bytes(b)
+
+    def test_includes_data(self):
+        _, a = _record(value=1.0)
+        _, b = _record(value=2.0)
+        assert deterministic_bytes(a) != deterministic_bytes(b)
+
+
+class TestPermissionFailure:
+    def test_unreadable_store_dir_degrades_to_miss(self, tmp_path):
+        if os.geteuid() == 0:
+            pytest.skip("root ignores permission bits")
+        store = ArtifactStore(tmp_path)
+        key, record = _record()
+        path = store.put(key, record)
+        path.chmod(0)
+        assert store.get(key) is None

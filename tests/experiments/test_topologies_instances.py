@@ -1,6 +1,5 @@
 """Tests for experiment topologies and the instance suite."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
@@ -13,6 +12,7 @@ from repro.experiments.instances import (
 )
 from repro.experiments.topologies import (
     PAPER_TOPOLOGIES,
+    WIDENED_TOPOLOGIES,
     make_topology,
     topology_names,
 )
@@ -30,9 +30,26 @@ class TestTopologies:
             "hq8",
         )
 
-    @pytest.mark.parametrize("name", ["grid4x4", "torus4x4", "hq4", "cbt4", "path16"])
+    @pytest.mark.parametrize(
+        "name", ["grid4x4", "torus4x4", "hq4", "cbt4", "path16", "fattree4x2", "dragonfly4x2"]
+    )
     def test_small_topologies_labeled(self, name):
         gp, pc = make_topology(name)
+        assert verify_labeling(gp, pc.labels)
+
+    def test_widened_set_registered(self):
+        assert WIDENED_TOPOLOGIES == ("fattree2x5", "dragonfly8x5", "torus8x8x4")
+        assert set(WIDENED_TOPOLOGIES) <= set(topology_names())
+        assert not set(WIDENED_TOPOLOGIES) & set(PAPER_TOPOLOGIES)
+
+    @pytest.mark.parametrize(
+        "name,n,dim",
+        [("fattree2x5", 63, 62), ("dragonfly8x5", 256, 9), ("torus8x8x4", 256, 10)],
+    )
+    def test_widened_topologies_labeled(self, name, n, dim):
+        gp, pc = make_topology(name)
+        assert gp.n == n
+        assert pc.dim == dim
         assert verify_labeling(gp, pc.labels)
 
     def test_paper_pe_counts(self):

@@ -118,5 +118,20 @@ class TestDiameterAndCenter:
         c = eccentricity_center(gen.path(9))
         assert c == 4
 
+    def test_matches_per_source_bfs(self):
+        # diameter/eccentricity now ride the bit-packed multi-source BFS;
+        # pin equivalence with the scalar per-source loop they replaced.
+        graphs = [
+            gen.torus(4, 6),
+            gen.grid(3, 5),
+            gen.fat_tree(3, 2),
+            gen.dragonfly(4, 2),
+            gen.barabasi_albert(70, 2, seed=3),
+        ]
+        for g in graphs:
+            eccs = [int(bfs_distances(g, v).max()) for v in range(g.n)]
+            assert diameter(g) == max(eccs)
+            assert eccentricity_center(g) == int(np.argmin(eccs))
+
     def test_weighted_degree(self, triangle):
         assert weighted_degree(triangle).tolist() == [4.0, 3.0, 5.0]

@@ -7,7 +7,6 @@ from repro.errors import GraphFormatError
 from repro.graphs.builder import (
     GraphBuilder,
     from_arrays,
-    from_edges,
     from_networkx,
     to_networkx,
 )

@@ -1,7 +1,6 @@
 """Tests for the complex-network suite wrapper and its structural claims."""
 
 import numpy as np
-import pytest
 
 from repro.graphs.generators import complex_networks as cn
 from repro.graphs.algorithms import is_connected

@@ -117,3 +117,58 @@ class TestTrees:
         c = gen.caterpillar(4, 2)
         assert c.n == 12 and c.m == 11
         assert is_connected(c)
+
+
+class TestFatTree:
+    def test_counts(self):
+        t = gen.fat_tree(4, 2)
+        assert t.n == 1 + 4 + 16
+        assert t.m == t.n - 1  # a tree
+        assert is_connected(t)
+
+    def test_matches_complete_binary_tree(self):
+        a = gen.fat_tree(2, 4)
+        b = gen.complete_binary_tree(4)
+        assert a.n == b.n and a.m == b.m
+        assert np.array_equal(a.indptr, b.indptr)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_children_block(self):
+        t = gen.fat_tree(3, 2)
+        assert sorted(int(v) for v in t.neighbors(0)) == [1, 2, 3]
+        assert sorted(int(v) for v in t.neighbors(1)) == [0, 4, 5, 6]
+
+    def test_height_zero(self):
+        assert gen.fat_tree(5, 0).n == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            gen.fat_tree(1, 2)
+        with pytest.raises(ValueError):
+            gen.fat_tree(2, -1)
+
+
+class TestDragonfly:
+    def test_counts(self):
+        g = gen.dragonfly(6, 3)
+        assert g.n == 6 * 8
+        # per vertex: 3 hypercube links + 2 ring links
+        assert (g.degrees == 5).all()
+        assert is_connected(g)
+
+    def test_two_groups_single_link(self):
+        g = gen.dragonfly(2, 2)
+        assert g.n == 8
+        assert (g.degrees == 3).all()  # 2 cube links + 1 inter-group link
+
+    def test_diameter(self):
+        # ring distance (g/2) + hypercube distance (d)
+        assert diameter(gen.dragonfly(8, 3)) == 4 + 3
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            gen.dragonfly(5, 2)  # odd group count breaks the partial cube
+        with pytest.raises(ValueError):
+            gen.dragonfly(0, 2)
+        with pytest.raises(ValueError):
+            gen.dragonfly(4, -1)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import TimerConfig, timer_enhance
+from repro import timer_enhance
 from repro.experiments.topologies import make_topology
 from repro.graphs import generators as gen
 from repro.mapping import (

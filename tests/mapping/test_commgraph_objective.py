@@ -10,7 +10,6 @@ from repro.mapping.commgraph import build_communication_graph
 from repro.mapping.objective import (
     average_dilation,
     coco,
-    coco_from_distances,
     coco_from_labels,
     congestion_estimate,
     maximum_dilation,

@@ -14,9 +14,8 @@ from repro.mapping.mapper import (
     compute_initial_mapping,
     vertex_mapping_from_blocks,
 )
-from repro.mapping.objective import coco, coco_from_distances, network_cost_matrix
+from repro.mapping.objective import coco_from_distances, network_cost_matrix
 from repro.partitioning.kway import partition_kway
-from repro.partitioning.partition import Partition
 
 
 @pytest.fixture(scope="module")

@@ -9,7 +9,6 @@ from repro.mapping.commgraph import build_communication_graph
 from repro.mapping.objective import coco_from_distances, network_cost_matrix
 from repro.mapping.refine import ncm_swap_refine, swap_gain
 from repro.partitioning.kway import partition_kway
-from repro.partitioning.partition import Partition
 
 
 @pytest.fixture(scope="module")

@@ -6,7 +6,6 @@ import pytest
 from repro.graphs import generators as gen
 from repro.partialcube.djokovic import partial_cube_labeling
 from repro.partialcube.hierarchy import (
-    LabelHierarchy,
     hierarchy_from_permutation,
     identity_permutation,
     opposite_permutation,

@@ -1,7 +1,6 @@
 """Tests for greedy initial bisection and FM refinement."""
 
 import numpy as np
-import pytest
 
 from repro.graphs import generators as gen
 from repro.graphs.builder import from_edges

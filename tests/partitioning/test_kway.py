@@ -100,10 +100,6 @@ class TestRebalance:
         assert balance_limit(ba_graph, 4, 0.0) == np.ceil(ba_graph.n / 4)
 
     def test_infeasible_raises(self):
-        g = gen.path(2)
-        heavy = Partition(
-            gen.grid(2, 1), np.asarray([0, 0]), 2
-        )  # both on block 0 with weight fine -> feasible; build infeasible:
         from repro.graphs.builder import from_edges
 
         g2 = from_edges(2, [(0, 1)], vertex_weights=[10.0, 1.0])

@@ -1,7 +1,6 @@
 """Tests for direct k-way boundary refinement."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.graphs import generators as gen
@@ -18,7 +17,6 @@ class TestKwayRefine:
         assert refined.edge_cut() <= part.edge_cut()
 
     def test_respects_balance_cap(self, ba_graph):
-        rng = np.random.default_rng(2)
         part = Partition(ba_graph, (np.arange(ba_graph.n) % 8), 8)
         refined = kway_refine(part, epsilon=0.03)
         refined.check_balance(0.03)

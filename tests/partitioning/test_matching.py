@@ -1,7 +1,5 @@
 """Tests for heavy-edge matching."""
 
-import numpy as np
-import pytest
 
 from repro.graphs import generators as gen
 from repro.graphs.builder import from_edges

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.errors import BalanceError
-from repro.graphs import generators as gen
 from repro.graphs.builder import from_edges
 from repro.partitioning.partition import Partition
 

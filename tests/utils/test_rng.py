@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.rng import (
+    derive_rng,
+    derive_seed,
+    derive_seed_sequence,
+    make_rng,
+    spawn_rngs,
+)
 
 
 class TestMakeRng:
@@ -45,3 +51,36 @@ class TestSpawnRngs:
     def test_negative_raises(self):
         with pytest.raises(ValueError):
             spawn_rngs(0, -1)
+
+
+class TestDerive:
+    """Identity-keyed derivation backing the parallel experiment runner."""
+
+    def test_deterministic(self):
+        a = derive_rng(7, "case", "pgp", 0, "grid4x4", "c2").integers(0, 10**9, 8)
+        b = derive_rng(7, "case", "pgp", 0, "grid4x4", "c2").integers(0, 10**9, 8)
+        assert np.array_equal(a, b)
+
+    def test_identity_sensitivity(self):
+        base = derive_seed(7, "case", "pgp", 0, "grid4x4", "c2")
+        assert base != derive_seed(8, "case", "pgp", 0, "grid4x4", "c2")
+        assert base != derive_seed(7, "case", "pgp", 1, "grid4x4", "c2")
+        assert base != derive_seed(7, "case", "pgp", 0, "grid4x4", "c3")
+
+    def test_no_component_concatenation_ambiguity(self):
+        # ("ab", "c") must differ from ("a", "bc"): components are joined
+        # with a separator before hashing.
+        assert derive_seed(1, "ab", "c") != derive_seed(1, "a", "bc")
+
+    def test_seed_fits_int64(self):
+        for identity in (("x",), ("y", 3), ("z", "w", 9)):
+            s = derive_seed(0, *identity)
+            assert 0 <= s < 2**63
+
+    def test_streams_independent(self):
+        a = derive_rng(7, "partition", "pgp", 0, 16).integers(0, 10**9, 20)
+        b = derive_rng(7, "partition", "pgp", 0, 64).integers(0, 10**9, 20)
+        assert not np.array_equal(a, b)
+
+    def test_sequence_type(self):
+        assert isinstance(derive_seed_sequence(3, "a"), np.random.SeedSequence)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.utils.segments import build_csr, segment_sum
+from repro.utils.segments import build_csr, group_ranks, group_reduce_sum, segment_sum
 
 
 class TestSegmentSum:
@@ -35,6 +35,56 @@ class TestSegmentSum:
     def test_rejects_mismatched_indptr(self):
         with pytest.raises(ValueError):
             segment_sum(np.asarray([1.0, 2.0]), np.asarray([0, 1]))
+
+
+class TestGroupReduceSum:
+    def test_basic(self):
+        keys = np.asarray([3, 1, 3, 1, 7])
+        vals = np.asarray([1.0, 2.0, 3.0, 4.0, 5.0])
+        uniq, sums = group_reduce_sum(keys, vals)
+        assert uniq.tolist() == [1, 3, 7]
+        assert sums.tolist() == [6.0, 4.0, 5.0]
+
+    def test_empty(self):
+        uniq, sums = group_reduce_sum(np.empty(0, np.int64), np.empty(0))
+        assert uniq.size == 0 and sums.size == 0
+
+    def test_single_group(self):
+        uniq, sums = group_reduce_sum(np.asarray([5, 5, 5]), np.asarray([1.0, 1.0, 1.5]))
+        assert uniq.tolist() == [5] and sums.tolist() == [3.5]
+
+    def test_matches_python_reference(self):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            keys = rng.integers(0, 8, size=int(rng.integers(0, 30)))
+            vals = rng.normal(size=keys.shape[0])
+            uniq, sums = group_reduce_sum(keys, vals)
+            expect = {int(k): float(vals[keys == k].sum()) for k in np.unique(keys)}
+            assert {int(k): float(s) for k, s in zip(uniq, sums)} == pytest.approx(expect)
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            group_reduce_sum(np.asarray([1, 2]), np.asarray([1.0]))
+
+
+class TestGroupRanks:
+    def test_interleaved(self):
+        assert group_ranks(np.asarray([0, 1, 0, 1, 0])).tolist() == [0, 0, 1, 1, 2]
+
+    def test_empty(self):
+        assert group_ranks(np.asarray([], dtype=np.int64)).size == 0
+
+    def test_single_key(self):
+        assert group_ranks(np.asarray([9, 9, 9])).tolist() == [0, 1, 2]
+
+    def test_matches_python_reference(self):
+        rng = np.random.default_rng(2)
+        keys = rng.integers(0, 5, size=40)
+        ranks = group_ranks(keys)
+        seen: dict[int, int] = {}
+        for i, k in enumerate(keys):
+            assert ranks[i] == seen.get(int(k), 0)
+            seen[int(k)] = seen.get(int(k), 0) + 1
 
 
 class TestBuildCsr:
