@@ -1,26 +1,26 @@
 #!/usr/bin/env python
 """Quickstart: enhance a mapping of a complex network onto a 2-D grid.
 
-Walks the paper's full pipeline on a small instance:
+Walks the paper's full pipeline on a small instance through the public
+`repro.api` surface:
 
 1. generate an application graph (a clustered power-law network),
-2. build a processor graph (4x4 grid) and its partial-cube labeling --
-   this reproduces the Figure 3 idea: every PE gets a bitvector whose
-   Hamming distances equal hop distances,
-3. partition the application graph into |V_p| balanced blocks,
-4. map blocks to PEs (IDENTITY) and measure Coco (hop-bytes),
-5. run TIMER and compare.
+2. open a `Topology` session for an 8x8 grid of PEs -- this owns the
+   partial-cube labeling (the Figure 3 idea: every PE gets a bitvector
+   whose Hamming distances equal hop distances) and shares it across
+   every run,
+3. assemble a `Pipeline`: balanced k-way partition (3% imbalance, as in
+   the paper), IDENTITY initial mapping (case c2), TIMER with 25
+   hierarchies,
+4. run it and compare Coco (hop-bytes) before and after.
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import TimerConfig, timer_enhance
+from repro import Pipeline, PipelineConfig, TimerConfig, Topology
 from repro.graphs import generators as gen
-from repro.mapping import coco, compute_initial_mapping
-from repro.partialcube import partial_cube_labeling
-from repro.partitioning import partition_kway
 
 
 def main() -> None:
@@ -31,31 +31,36 @@ def main() -> None:
     print(f"application graph: {ga.n} tasks, {ga.m} communication pairs")
 
     # 2. The parallel machine: an 8x8 grid of PEs (a partial cube).
-    gp = gen.grid(8, 8)
-    pc = partial_cube_labeling(gp)
-    print(f"processor graph:   {gp.n} PEs, partial-cube dimension {pc.dim}")
+    topology = Topology.from_name("grid8x8")
+    pc = topology.labeling
+    print(f"processor graph:   {topology.n} PEs, partial-cube dimension {pc.dim}")
     print("PE labels (Hamming distance == hop distance):")
     for pe in range(4):
         print(f"  PE {pe}: {int(pc.labels[pe]):0{pc.dim}b}")
 
-    # 3. Balanced partition into 64 blocks (3% imbalance, as in the paper).
-    part = partition_kway(ga, gp.n, epsilon=0.03, seed=1)
-    print(f"partition:         cut = {part.edge_cut():.0f}, "
-          f"imbalance = {part.imbalance():.3f}")
-
-    # 4. Initial mapping: block i -> PE i (experimental case c2).
-    mu, _ = compute_initial_mapping("c2", part, gp, seed=2)
-    print(f"initial Coco:      {coco(ga, gp, mu):.0f}")
-
-    # 5. TIMER with 25 hierarchies.
-    result = timer_enhance(
-        ga, gp, pc, mu, seed=3, config=TimerConfig(n_hierarchies=25)
+    # 3. The pipeline: partition -> IDENTITY mapping (c2) -> TIMER.
+    pipe = Pipeline(
+        topology,
+        PipelineConfig(
+            initial_mapping="c2",
+            epsilon=0.03,
+            timer=TimerConfig(n_hierarchies=25),
+            post_verify=("mapping-valid", "balance-preserved"),
+        ),
     )
+
+    # 4. Run and compare.
+    result = pipe.run(ga, seed=3)
+    print(f"partition:         cut = {result.cut_before:.0f}")
+    print(f"initial Coco:      {result.coco_before:.0f}")
     print(f"enhanced Coco:     {result.coco_after:.0f} "
           f"({result.coco_improvement:.1%} better)")
     print(f"edge cut:          {result.cut_before:.0f} -> {result.cut_after:.0f}")
-    print(f"accepted:          {result.hierarchies_accepted}/25 hierarchies "
-          f"in {result.elapsed_seconds:.2f}s")
+    timer = result.timer
+    print(f"accepted:          {timer.hierarchies_accepted}/25 hierarchies; "
+          "stage times: "
+          + ", ".join(f"{t.stage} {t.seconds:.2f}s" for t in result.stage_timings))
+    print(f"provenance:        {result.identity_hash[:16]}...")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,263 @@
+"""Typed stage protocols and the built-in stage implementations.
+
+A :class:`~repro.api.pipeline.Pipeline` is a fixed sequence of slots --
+partition, initial mapping, enhance -- plus pre/post verify and report
+hooks.  Each slot accepts either a *name* resolved through the unified
+:data:`~repro.api.registry.REGISTRY` or a strategy *instance* satisfying
+the protocol, so downstream code can plug in its own algorithms without
+touching this package.
+
+Protocols (structural -- no subclassing required):
+
+- :class:`PartitionStrategy`: ``(ga, k, *, epsilon, seed) -> Partition``
+- :class:`InitialMappingStrategy`: ``(part, gp, *, seed) -> mu`` where
+  ``mu`` is the vertex -> PE array,
+- :class:`EnhanceStrategy`: ``(ga, topology, mu, *, seed, config) ->
+  TimerResult``,
+- :class:`VerifyHook` / :class:`ReportHook`: ``(ctx) -> None / value``
+  over a :class:`StageContext`.
+
+Importing this module registers the built-ins: partition ``kway``,
+enhance ``timer``, verify ``mapping-valid`` / ``balance-preserved`` /
+``labeling-isometric`` and report ``quality`` / ``summary``.  The
+initial-mapping names (``c1 .. c4``) are registered by
+:mod:`repro.mapping.mapper`, which this registry absorbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.api.registry import ENHANCE, PARTITION, REGISTRY, REPORT, VERIFY
+from repro.core.config import TimerConfig
+from repro.core.enhancer import TimerResult, timer_enhance
+from repro.errors import MappingError
+from repro.graphs.graph import Graph
+from repro.mapping.mapper import compute_initial_mapping
+from repro.partitioning.kway import partition_kway
+from repro.partitioning.partition import Partition
+from repro.utils.rng import SeedLike
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.topology import Topology
+
+
+# ----------------------------------------------------------------------
+# Protocols
+# ----------------------------------------------------------------------
+@runtime_checkable
+class PartitionStrategy(Protocol):
+    """Stage 1: split ``ga`` into ``k`` balanced blocks."""
+
+    name: str
+
+    def __call__(
+        self, ga: Graph, k: int, *, epsilon: float, seed: SeedLike
+    ) -> Partition: ...
+
+
+@runtime_checkable
+class InitialMappingStrategy(Protocol):
+    """Stage 2: turn a partition into a vertex -> PE mapping ``mu``.
+
+    May return either the mapping array, or ``(mu, seconds)`` to report
+    the algorithm's own inner timing (excluding bookkeeping), which the
+    pipeline then records as the stage time -- the paper's timing
+    methodology.
+    """
+
+    name: str
+
+    def __call__(
+        self, part: Partition, gp: Graph, *, seed: SeedLike
+    ) -> "np.ndarray | tuple[np.ndarray, float]": ...
+
+
+@runtime_checkable
+class EnhanceStrategy(Protocol):
+    """Stage 3: improve ``mu`` on the topology (TIMER, or a stand-in)."""
+
+    name: str
+
+    def __call__(
+        self,
+        ga: Graph,
+        topology: "Topology",
+        mu: np.ndarray,
+        *,
+        seed: SeedLike,
+        config: TimerConfig,
+    ) -> TimerResult: ...
+
+
+class VerifyHook(Protocol):
+    """Pre/post invariant check; raise :class:`repro.errors.ReproError`."""
+
+    def __call__(self, ctx: "StageContext") -> None: ...
+
+
+class ReportHook(Protocol):
+    """Post-run summarizer; the return value lands in ``result.reports``."""
+
+    def __call__(self, ctx: "StageContext") -> Any: ...
+
+
+@dataclass
+class StageContext:
+    """Everything a verify/report hook may inspect about one run.
+
+    ``phase`` is ``"pre"`` before any stage executed (``mu_initial`` /
+    ``mu_final`` only set when the caller provided a mapping) and
+    ``"post"`` once the pipeline finished and ``metrics`` is populated.
+    """
+
+    ga: Graph
+    topology: "Topology"
+    seed: SeedLike = None
+    partition: Partition | None = None
+    mu_initial: np.ndarray | None = None
+    mu_final: np.ndarray | None = None
+    timer: TimerResult | None = None
+    metrics: dict = field(default_factory=dict)
+    phase: str = "pre"
+
+
+# ----------------------------------------------------------------------
+# Built-in stages
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class KwayPartition:
+    """The multilevel k-way partitioner (KaHIP stand-in) as a stage."""
+
+    name: str = "kway"
+
+    def __call__(
+        self, ga: Graph, k: int, *, epsilon: float, seed: SeedLike
+    ) -> Partition:
+        return partition_kway(ga, k, epsilon=epsilon, seed=seed)
+
+
+@dataclass(frozen=True)
+class CaseMapping:
+    """Initial-mapping stage for one registered case (``c1 .. c4``).
+
+    Thin adapter over :func:`repro.mapping.compute_initial_mapping`,
+    which resolves the case through the same unified registry.  Returns
+    ``(mu, seconds)`` where the seconds cover only the mapping algorithm
+    itself (the paper's timing methodology).
+    """
+
+    case: str
+
+    @property
+    def name(self) -> str:
+        return self.case
+
+    def __call__(
+        self, part: Partition, gp: Graph, *, seed: SeedLike
+    ) -> tuple[np.ndarray, float]:
+        return compute_initial_mapping(self.case, part, gp, seed=seed)
+
+
+@dataclass(frozen=True)
+class TimerEnhance:
+    """Algorithm 1 (TIMER) as the enhance stage."""
+
+    name: str = "timer"
+
+    def __call__(
+        self,
+        ga: Graph,
+        topology: "Topology",
+        mu: np.ndarray,
+        *,
+        seed: SeedLike,
+        config: TimerConfig,
+    ) -> TimerResult:
+        return timer_enhance(
+            ga, topology.graph, topology.labeling, mu, seed=seed, config=config
+        )
+
+
+# ----------------------------------------------------------------------
+# Built-in verify / report hooks
+# ----------------------------------------------------------------------
+def verify_mapping_valid(ctx: StageContext) -> None:
+    """Mappings must cover ``V_a`` and stay inside ``V_p``."""
+    for label, mu in (("initial", ctx.mu_initial), ("final", ctx.mu_final)):
+        if mu is None:
+            continue
+        mu = np.asarray(mu)
+        if mu.shape != (ctx.ga.n,):
+            raise MappingError(
+                f"{label} mapping has shape {mu.shape}, expected ({ctx.ga.n},)"
+            )
+        if mu.size and (mu.min() < 0 or mu.max() >= ctx.topology.n):
+            raise MappingError(f"{label} mapping maps outside V_p")
+
+
+def verify_balance_preserved(ctx: StageContext) -> None:
+    """TIMER must preserve block sizes exactly (paper section 4)."""
+    if ctx.mu_initial is None or ctx.mu_final is None:
+        return
+    k = ctx.topology.n
+    before = np.bincount(np.asarray(ctx.mu_initial), minlength=k)
+    after = np.bincount(np.asarray(ctx.mu_final), minlength=k)
+    if not np.array_equal(before, after):
+        raise MappingError("enhancement changed the block-size distribution")
+
+
+def verify_labeling_isometric(ctx: StageContext) -> None:
+    """Hamming distances of the topology labels must equal hop distances."""
+    from repro.utils.bitops import bitwise_count
+
+    labels = ctx.topology.labeling.labels
+    ham = bitwise_count(labels[:, None] ^ labels[None, :])
+    if not np.array_equal(ham, ctx.topology.distances):
+        raise MappingError("topology labeling is not isometric")
+
+
+def report_quality(ctx: StageContext) -> dict:
+    """The standard metric dict (cut / Coco before and after)."""
+    return dict(ctx.metrics)
+
+
+def report_summary(ctx: StageContext) -> str:
+    """One human-readable line, the CLI's historical format."""
+    m = ctx.metrics
+    return (
+        f"{ctx.ga.name} -> {ctx.topology.name}: "
+        f"Coco {m.get('coco_before', float('nan')):.1f} -> "
+        f"{m.get('coco_after', float('nan')):.1f}, "
+        f"cut {m.get('cut_before', float('nan')):.1f} -> "
+        f"{m.get('cut_after', float('nan')):.1f}"
+    )
+
+
+REGISTRY.register(PARTITION, "kway", KwayPartition())
+REGISTRY.register(ENHANCE, "timer", TimerEnhance())
+REGISTRY.register(VERIFY, "mapping-valid", verify_mapping_valid)
+REGISTRY.register(VERIFY, "balance-preserved", verify_balance_preserved)
+REGISTRY.register(VERIFY, "labeling-isometric", verify_labeling_isometric)
+REGISTRY.register(REPORT, "quality", report_quality)
+REGISTRY.register(REPORT, "summary", report_summary)
+
+__all__ = [
+    "PartitionStrategy",
+    "InitialMappingStrategy",
+    "EnhanceStrategy",
+    "VerifyHook",
+    "ReportHook",
+    "StageContext",
+    "KwayPartition",
+    "CaseMapping",
+    "TimerEnhance",
+    "verify_mapping_valid",
+    "verify_balance_preserved",
+    "verify_labeling_isometric",
+    "report_quality",
+    "report_summary",
+]

@@ -1,0 +1,136 @@
+"""The :class:`Topology` session object -- one processor graph, all caches.
+
+TIMER's economics hinge on amortization: recognizing a processor graph as
+a partial cube and labeling it costs ``O(|Ep|^2)``-ish work, and the
+all-pairs distance matrix behind Coco evaluation costs ``O(|Vp| |Ep|)``;
+both are pure functions of the *topology* and independent of the
+application graph.  A ``Topology`` owns that precomputation and shares it
+across every :meth:`~repro.api.pipeline.Pipeline.run` -- which is exactly
+the high-traffic serving shape: build the session once, stream many
+application graphs through it.
+
+All caches are lazy, so paths that never touch them (e.g. the experiment
+runner, which evaluates Coco from labels) never pay for them.
+``labelings_computed`` counts actual labeling computations; the batch
+test asserts it stays at one across a whole ``run_batch``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.api.registry import REGISTRY, TOPOLOGY
+from repro.errors import ConfigurationError
+from repro.graphs.algorithms import all_pairs_distances
+from repro.graphs.graph import Graph
+from repro.partialcube.djokovic import PartialCubeLabeling, partial_cube_labeling
+
+#: Process-wide session cache for registered topology names.  Entries
+#: are dropped automatically when their builder is re-registered or
+#: unregistered, so a session never outlives its registry entry.
+_SESSIONS: dict[str, "Topology"] = {}
+
+REGISTRY.subscribe(TOPOLOGY, lambda name: _SESSIONS.pop(name, None))
+
+
+class Topology:
+    """A processor graph plus its lazily computed, shared precomputation."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        labeling: PartialCubeLabeling | None = None,
+        name: str | None = None,
+    ) -> None:
+        self.graph = graph
+        self.name = name or graph.name or "topology"
+        self._labeling = labeling
+        self._distances: np.ndarray | None = None
+        #: number of times the partial-cube labeling was actually computed
+        #: by this session (0 when it was supplied or never needed).
+        self.labelings_computed = 0
+
+    # -- constructors --------------------------------------------------
+    @classmethod
+    def from_name(cls, name: str) -> "Topology":
+        """The shared session for a registered topology name.
+
+        Sessions are cached per process, so every pipeline (and every
+        experiment-runner task of a forked worker) resolving the same
+        name shares one labeling and one distance matrix.
+        """
+        if name not in _SESSIONS:
+            builder = REGISTRY.get(TOPOLOGY, name)
+            _SESSIONS[name] = cls(builder(), name=name)
+        return _SESSIONS[name]
+
+    @classmethod
+    def from_graph(
+        cls,
+        graph: Graph,
+        labeling: PartialCubeLabeling | None = None,
+        name: str | None = None,
+    ) -> "Topology":
+        """Wrap an in-memory processor graph (labeling optional)."""
+        return cls(graph, labeling=labeling, name=name)
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "Topology":
+        """Load a METIS graph file as a topology session."""
+        from repro.graphs.io import read_metis
+
+        path = Path(path)
+        return cls(read_metis(str(path), name=path.stem), name=path.stem)
+
+    @classmethod
+    def from_spec(cls, spec: "str | Path | Graph | Topology") -> "Topology":
+        """Registered name, METIS path, graph, or pass-through session.
+
+        This is the CLI's historical resolution order: a registered name
+        wins over a file of the same spelling.
+        """
+        if isinstance(spec, Topology):
+            return spec
+        if isinstance(spec, Graph):
+            return cls.from_graph(spec)
+        if (TOPOLOGY, str(spec)) in REGISTRY:
+            return cls.from_name(str(spec))
+        if Path(spec).is_file():
+            return cls.from_file(spec)
+        raise ConfigurationError(
+            f"unknown topology {str(spec)!r}: neither a registered name nor "
+            f"a METIS file; known names: "
+            f"{', '.join(REGISTRY.names(TOPOLOGY)) or '<none>'}"
+        )
+
+    @staticmethod
+    def clear_sessions() -> None:
+        """Drop all cached named sessions (tests, topology re-registration)."""
+        _SESSIONS.clear()
+
+    # -- cached views --------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of processing elements ``|V_p|``."""
+        return self.graph.n
+
+    @property
+    def labeling(self) -> PartialCubeLabeling:
+        """The partial-cube labeling, computed at most once per session."""
+        if self._labeling is None:
+            self._labeling = partial_cube_labeling(self.graph)
+            self.labelings_computed += 1
+        return self._labeling
+
+    @property
+    def distances(self) -> np.ndarray:
+        """All-pairs hop distances (the NCM), computed at most once."""
+        if self._distances is None:
+            self._distances = all_pairs_distances(self.graph)
+        return self._distances
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        lab = self._labeling.dim if self._labeling is not None else "?"
+        return f"Topology({self.name!r}, n={self.graph.n}, dim={lab})"

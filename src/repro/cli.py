@@ -10,9 +10,15 @@ without writing Python:
 - ``enhance GRAPH TOPOLOGY MU``   -- run TIMER on an existing mapping
 
 ``TOPOLOGY`` is either a registered name (``grid16x16``, ``torus8x8x8``,
-``hq8``, ... -- see ``repro.experiments.topologies``) or a path to a METIS
-file.  Assignments/mappings are plain text: one integer per line, line i =
-block/PE of vertex i.
+``hq8``, ... -- see the unified registry, kind ``topology``) or a path to
+a METIS file.  Assignments/mappings are plain text: one integer per line,
+line i = block/PE of vertex i.
+
+``map`` and ``enhance`` are thin consumers of :class:`repro.api.Pipeline`
+-- the same staged path the library quickstart and the experiment harness
+use -- with ``seed_policy="raw"`` pinning the CLI's historical per-stage
+seeding, so outputs on fixed seeds are byte-identical across the API
+redesign.
 """
 
 from __future__ import annotations
@@ -23,28 +29,18 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.api.pipeline import Pipeline, PipelineConfig
+from repro.api.topology import Topology
 from repro.core.config import TimerConfig
-from repro.core.enhancer import timer_enhance
 from repro.errors import NotPartialCubeError, ReproError
-from repro.experiments.topologies import make_topology, topology_names
 from repro.graphs.graph import Graph
 from repro.graphs.io import read_metis
-from repro.mapping.mapper import compute_initial_mapping
-from repro.mapping.objective import coco
 from repro.partialcube.djokovic import partial_cube_labeling
 from repro.partitioning.kway import partition_kway
 
 
 def _load_graph(path: str) -> Graph:
     return read_metis(path, name=Path(path).stem)
-
-
-def _load_topology(spec: str):
-    """Topology by registry name or METIS path; returns (graph, labeling)."""
-    if spec in topology_names():
-        return make_topology(spec)
-    gp = _load_graph(spec)
-    return gp, partial_cube_labeling(gp)
 
 
 def _write_assignment(path: str | None, values: np.ndarray) -> None:
@@ -99,29 +95,58 @@ def cmd_partition(args) -> int:
 
 def cmd_map(args) -> int:
     g = _load_graph(args.graph)
-    gp, _pc = _load_topology(args.topology)
-    part = partition_kway(g, gp.n, epsilon=args.epsilon, seed=args.seed)
-    mu, secs = compute_initial_mapping(args.case, part, gp, seed=args.seed)
-    print(f"Coco = {coco(g, gp, mu):.1f} (mapping time {secs:.2f}s)",
-          file=sys.stderr)
-    _write_assignment(args.out, mu)
+    topology = Topology.from_spec(args.topology)
+    # The mapping itself never needs the labeling, but the historical CLI
+    # validated every topology as a partial cube up front -- keep that
+    # contract (a non-partial-cube file fails loudly here, not later in
+    # `enhance`).  Sessions cache it, so `enhance` then gets it for free.
+    topology.labeling
+    pipe = Pipeline(
+        topology,
+        PipelineConfig(
+            initial_mapping=args.case,
+            enhance="none",
+            epsilon=args.epsilon,
+            seed_policy="raw",
+            post_verify=("mapping-valid",),
+        ),
+    )
+    res = pipe.run(g, seed=args.seed)
+    print(
+        f"Coco = {res.coco_after:.1f} "
+        f"(mapping time {res.stage_seconds('initial_mapping'):.2f}s)",
+        file=sys.stderr,
+    )
+    _write_assignment(args.out, res.mu_final)
     return 0
 
 
 def cmd_enhance(args) -> int:
     g = _load_graph(args.graph)
-    gp, pc = _load_topology(args.topology)
+    topology = Topology.from_spec(args.topology)
     mu = _read_assignment(args.mu, g.n)
-    cfg = TimerConfig(n_hierarchies=args.nh, swap_strategy=args.strategy)
-    res = timer_enhance(g, gp, pc, mu, seed=args.seed, config=cfg)
+    pipe = Pipeline(
+        topology,
+        PipelineConfig(
+            partition="none",
+            initial_mapping="none",
+            enhance="timer",
+            seed_policy="raw",
+            timer=TimerConfig(n_hierarchies=args.nh, swap_strategy=args.strategy),
+            pre_verify=("mapping-valid",),
+            post_verify=("balance-preserved",),
+        ),
+    )
+    res = pipe.run(g, mu=mu, seed=args.seed)
+    timer = res.timer
     print(
         f"Coco {res.coco_before:.1f} -> {res.coco_after:.1f} "
         f"({res.coco_improvement:.1%}), cut {res.cut_before:.1f} -> "
-        f"{res.cut_after:.1f}, {res.hierarchies_accepted}/{args.nh} accepted, "
-        f"{res.elapsed_seconds:.2f}s",
+        f"{res.cut_after:.1f}, {timer.hierarchies_accepted}/{args.nh} accepted, "
+        f"{timer.elapsed_seconds:.2f}s",
         file=sys.stderr,
     )
-    _write_assignment(args.out, res.mu_after)
+    _write_assignment(args.out, res.mu_final)
     return 0
 
 

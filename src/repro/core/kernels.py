@@ -70,6 +70,7 @@ __all__ = [
     "vertex_lsb_sums",
     "sibling_pairs",
     "sibling_pair_weights",
+    "pair_interactions",
     "batch_pair_deltas",
     "pair_delta",
     "batch_swap_pass",
@@ -192,6 +193,60 @@ def sibling_pair_weights(level: Level, pairs: np.ndarray) -> np.ndarray:
     return out
 
 
+def pair_interactions(
+    pairs: np.ndarray,
+    csr: tuple[np.ndarray, np.ndarray, np.ndarray],
+    n: int,
+    ordered: bool = False,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """CSR entries whose endpoints lie in two *different* sibling pairs.
+
+    Returns ``(own, dst, src, nbr, wt)`` arrays, one element per directed
+    CSR edge ``src -> nbr`` with ``src`` in pair ``own`` and ``nbr`` in
+    pair ``dst != own``.  These are exactly the edges whose LSB
+    contribution to pair ``own``'s gain flips when pair ``dst`` swaps --
+    the interaction structure both the batch greedy fixpoint and the
+    vectorized KL gain maintenance are built on.  The layout depends only
+    on the pair set (labels swap *within* pairs), so one build serves a
+    whole sweep.
+
+    With ``ordered=True`` only entries with ``dst < own`` are kept
+    (exactly half the set -- each undirected edge appears once instead of
+    twice), applied as part of the single filter pass; this is the subset
+    the greedy fixpoint needs, where corrections only flow from
+    earlier-ordered pairs.
+    """
+    indptr, indices, weights = csr
+    k = pairs.shape[0]
+    pu = pairs[:, 0]
+    pv = pairs[:, 1]
+    pair_of = np.full(n, -1, dtype=np.int64)
+    local = np.arange(k, dtype=np.int64)
+    pair_of[pu] = local
+    pair_of[pv] = local
+    verts = np.concatenate([pu, pv])
+    starts = indptr[verts]
+    counts = indptr[verts + 1] - starts
+    total = int(counts.sum())
+    excl = np.zeros(2 * k, dtype=np.int64)
+    np.cumsum(counts[:-1], out=excl[1:])
+    ks = np.repeat(starts - excl, counts) + np.arange(total, dtype=np.int64)
+    own_full = np.repeat(np.concatenate([local, local]), counts)
+    nbrs = indices[ks]
+    dst_full = pair_of[nbrs]
+    if ordered:
+        keep = (dst_full >= 0) & (dst_full < own_full)
+    else:
+        keep = (dst_full >= 0) & (dst_full != own_full)
+    return (
+        own_full[keep],
+        dst_full[keep],
+        np.repeat(verts, counts)[keep],
+        nbrs[keep],
+        weights[ks[keep]],
+    )
+
+
 # ----------------------------------------------------------------------
 # Gain kernels
 # ----------------------------------------------------------------------
@@ -308,29 +363,13 @@ def batch_swap_pass(
     pu = pairs[:, 0]
     pv = pairs[:, 1]
     pair_w = sibling_pair_weights(level, pairs)
-    # Pair-interaction list: one entry per CSR edge (a, t) with ``a`` in
+    # Pair-interaction list restricted to entries (a, t) with ``a`` in
     # pair ``own`` and ``t`` in an *earlier-ordered* pair ``dst`` --
     # exactly the edges whose contribution flips when pair ``dst`` swaps
     # before pair ``own`` is evaluated.
-    pair_of = np.full(n, -1, dtype=np.int64)
-    local = np.arange(k, dtype=np.int64)
-    pair_of[pu] = local
-    pair_of[pv] = local
-    verts = np.concatenate([pu, pv])
-    starts = indptr[verts]
-    counts = indptr[verts + 1] - starts
-    total = int(counts.sum())
-    excl = np.zeros(2 * k, dtype=np.int64)
-    np.cumsum(counts[:-1], out=excl[1:])
-    ks = np.repeat(starts - excl, counts) + np.arange(total, dtype=np.int64)
-    own_full = np.repeat(np.concatenate([local, local]), counts)
-    nbrs = indices[ks]
-    keep = (pair_of[nbrs] >= 0) & (pair_of[nbrs] < own_full)
-    own = own_full[keep]
-    dst = pair_of[nbrs[keep]]
-    w_keep = weights[ks[keep]]
-    nbrs_keep = nbrs[keep]
-    src_keep = np.repeat(verts, counts)[keep]
+    own, dst, src_keep, nbrs_keep, w_keep = pair_interactions(
+        pairs, csr, n, ordered=True
+    )
     for _ in range(max(1, sweeps)):
         # Start-of-sweep gains for every pair in one vectorized pass.
         deltas0 = batch_pair_deltas(labels, pairs, csr, sign, pair_w)

@@ -33,6 +33,7 @@ from repro.core.kernels import (
     batch_swap_pass,
     level_csr,
     pair_delta,
+    pair_interactions,
     sibling_pair_weights,
     sibling_pairs,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "swap_pass",
     "swap_pass_reference",
     "kl_swap_pass",
+    "kl_swap_pass_reference",
 ]
 
 
@@ -119,9 +121,101 @@ def kl_swap_pass(
 
     Same contract as :func:`swap_pass`: labels mutate in place, the label
     multiset is preserved, returns ``(n_swaps_kept, total_delta)`` with
-    ``total_delta <= 0``.  The initial gain table is filled by the batch
-    kernel in one vectorized pass; only the incremental recomputes inside
-    the heap loop stay scalar (they touch single pairs by construction).
+    ``total_delta <= 0``.
+
+    Gain maintenance is fully vectorized on the batch kernels: the
+    initial table comes from :func:`~repro.core.kernels.batch_pair_deltas`
+    and every execution updates the affected gains through the
+    precomputed :func:`~repro.core.kernels.pair_interactions` edge list.
+    Within one sequence a vertex LSB flips at most once, so the gain pair
+    ``q`` sees is exactly ``d_q^0 - 2 * sum over executed pairs j of the
+    start-of-sweep contributions between q and j`` -- no per-pair
+    adjacency slicing remains (the closed form the batch greedy fixpoint
+    already relies on).  Final labelings are byte-identical to
+    :func:`kl_swap_pass_reference` whenever edge weights are exactly
+    representable (integer-valued, as on all contracted levels of
+    unit-weight graphs).
+    """
+    import heapq
+
+    if sign not in (-1, 1):
+        raise ValueError(f"sign must be +-1, got {sign}")
+    labels = level.labels
+    if labels.shape[0] < 2 or level.us.size == 0:
+        return 0, 0.0
+    if csr is None:
+        csr = level_csr(level)
+    kept_swaps = 0
+    kept_delta = 0.0
+    for _ in range(max(1, sweeps)):
+        pairs = sibling_pairs(labels)
+        k = pairs.shape[0]
+        if k == 0:
+            break
+        done = np.zeros(k, dtype=bool)
+        pair_w = sibling_pair_weights(level, pairs)
+        current = batch_pair_deltas(labels, pairs, csr, sign, pair_w)
+        # Interaction list grouped by the *swapping* pair: when pair j
+        # executes, entry (own=q, dst=j) contributes -2 * c0 to q's gain,
+        # with c0 the signed start-of-sweep LSB contribution of its edge.
+        own, dst, src, nbr, wt = pair_interactions(pairs, csr, labels.shape[0])
+        c0 = sign * (wt * (1.0 - 2.0 * ((labels[src] ^ labels[nbr]) & 1)))
+        by_dst = np.argsort(dst, kind="stable")
+        own_by_dst = own[by_dst]
+        c0_by_dst = c0[by_dst]
+        dst_indptr = np.searchsorted(dst[by_dst], np.arange(k + 1))
+        heap: list[tuple[float, int, float]] = [
+            (float(current[pid]), pid, float(current[pid])) for pid in range(k)
+        ]
+        heapq.heapify(heap)
+        executed: list[int] = []
+        cum = 0.0
+        best_cum = 0.0
+        best_len = 0
+        while heap:
+            d, pid, d_rec = heapq.heappop(heap)
+            if done[pid] or current[pid] != d_rec:
+                continue
+            u, v = int(pairs[pid][0]), int(pairs[pid][1])
+            done[pid] = True
+            labels[u], labels[v] = labels[v], labels[u]
+            executed.append(pid)
+            cum += d
+            if cum < best_cum - 1e-12:
+                best_cum = cum
+                best_len = len(executed)
+            # Batch gain update for every pair touching the executed one.
+            lo, hi = int(dst_indptr[pid]), int(dst_indptr[pid + 1])
+            if lo == hi:
+                continue
+            owners = own_by_dst[lo:hi]
+            np.subtract.at(current, owners, 2.0 * c0_by_dst[lo:hi])
+            for qid in np.unique(owners):
+                if not done[qid]:
+                    d_new = float(current[qid])
+                    heapq.heappush(heap, (d_new, int(qid), d_new))
+        # roll back past the best prefix
+        for pid in executed[best_len:]:
+            u, v = int(pairs[pid][0]), int(pairs[pid][1])
+            labels[u], labels[v] = labels[v], labels[u]
+        kept_swaps += best_len
+        kept_delta += best_cum
+        if best_len == 0:
+            break
+    return kept_swaps, kept_delta
+
+
+def kl_swap_pass_reference(
+    level: Level,
+    sign: int,
+    sweeps: int = 1,
+    csr: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
+) -> tuple[int, float]:
+    """The original KL pass with scalar heap-gain recomputation.
+
+    Kept verbatim as the semantic ground truth for the vectorized
+    :func:`kl_swap_pass`: the equivalence test drives both over the same
+    hierarchy levels and asserts byte-identical final labelings.
     """
     import heapq
 

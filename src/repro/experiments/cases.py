@@ -9,7 +9,10 @@ Each case fixes how the initial mapping ``mu_1`` is obtained:
   Runtime quotients for c2-c4 are relative to the *partitioning* time.
 
 :func:`run_case` executes one (instance, topology, case, seed) cell:
-partition -> initial mapping -> TIMER -> metrics.
+partition -> initial mapping -> TIMER -> metrics.  Since the API
+redesign it is a thin consumer of :class:`repro.api.Pipeline` (one
+shared-stream seed, initial-mapping stage for the case, TIMER enhance),
+byte-identical to the pre-pipeline hand-wired sequence.
 """
 
 from __future__ import annotations
@@ -18,13 +21,14 @@ from dataclasses import dataclass, fields
 
 import numpy as np
 
+from repro.api.pipeline import Pipeline, PipelineConfig
+from repro.api.topology import Topology
 from repro.core.config import TimerConfig
-from repro.core.enhancer import TimerResult, timer_enhance
+from repro.core.enhancer import TimerResult
 from repro.graphs.graph import Graph
-from repro.mapping.mapper import compute_initial_mapping
 from repro.partialcube.djokovic import PartialCubeLabeling
 from repro.partitioning.partition import Partition
-from repro.utils.rng import SeedLike, make_rng
+from repro.utils.rng import SeedLike
 
 #: case id -> human name, in paper order
 CASES: dict[str, str] = {
@@ -123,9 +127,19 @@ def run_case(
     """
     if case not in CASES:
         raise KeyError(f"unknown case {case!r}")
-    rng = make_rng(seed)
-    mu, mapping_seconds = compute_initial_mapping(case, part, gp, seed=rng)
-    result = timer_enhance(ga, gp, pc, mu, seed=rng, config=timer_config)
+    pipeline = Pipeline(
+        Topology.from_graph(gp, labeling=pc, name=topology_name),
+        PipelineConfig(
+            partition="none",
+            initial_mapping=case,
+            enhance="timer",
+            seed_policy="stream",
+            timer=timer_config,
+        ),
+    )
+    pres = pipeline.run(ga, partition=part, seed=seed)
+    result = pres.timer
+    mapping_seconds = pres.stage_seconds("initial_mapping")
     baseline = mapping_seconds if case == "c1" else partition_seconds
     run = CaseRun(
         case=case,

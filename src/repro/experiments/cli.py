@@ -3,7 +3,9 @@
 Artifacts: ``table1``, ``table2``, ``table3``, ``fig5`` (all four cases),
 ``all`` (everything + summary), ``csv`` (raw runs), ``json``
 (machine-readable aggregate), ``sweep`` (run + provenance report, the
-entry point for populating an artifact store).
+entry point for populating an artifact store), ``gc`` (prune store
+records whose code/schema versions no longer match; ``--dry-run`` to
+preview).
 
 The sweep shape resolves in three layers, later wins:
 
@@ -37,7 +39,9 @@ from repro.experiments.reporting import (
 )
 from repro.experiments.runner import ExperimentConfig, run_experiment
 
-ARTIFACTS = ("table1", "table2", "table3", "fig5", "all", "csv", "json", "sweep")
+ARTIFACTS = (
+    "table1", "table2", "table3", "fig5", "all", "csv", "json", "sweep", "gc",
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -76,6 +80,8 @@ def build_parser() -> argparse.ArgumentParser:
                         "persisted there as one JSON file")
     p.add_argument("--resume", action="store_true",
                    help="skip cells already present in --store")
+    p.add_argument("--dry-run", action="store_true",
+                   help="gc only: report stale records without deleting")
     p.add_argument("--verbose", action="store_true")
     p.add_argument("--out", type=str, default=None, help="write to file instead of stdout")
     return p
@@ -111,10 +117,37 @@ def resolve_config(args: argparse.Namespace) -> ExperimentConfig:
     return replace(base, **overrides)
 
 
+def run_gc(args) -> int:
+    """The ``gc`` artifact: prune version-mismatched store records."""
+    from pathlib import Path
+
+    from repro._version import __version__
+    from repro.experiments.store import ArtifactStore
+
+    if not args.store:
+        raise SystemExit("gc requires --store DIR")
+    if not Path(args.store).is_dir():
+        # ArtifactStore would silently mkdir; for gc a missing store is
+        # always a typo, not a request to create an empty one.
+        raise SystemExit(f"gc: store directory {args.store!r} does not exist")
+    report = ArtifactStore(args.store).prune(
+        code=__version__, dry_run=args.dry_run
+    )
+    text = report.render()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            f.write(text)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.resume and not args.store:
         raise SystemExit("--resume requires --store DIR")
+    if args.artifact == "gc":
+        return run_gc(args)
     config = resolve_config(args)
     chunks: list[str] = []
     if args.artifact == "table1":

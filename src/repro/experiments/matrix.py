@@ -35,6 +35,7 @@ import tomllib
 from dataclasses import dataclass, fields, replace
 from pathlib import Path
 
+from repro.api.registry import REGISTRY, SCENARIO, RegistryView
 from repro.errors import ConfigurationError
 from repro.experiments.runner import ExperimentConfig, _validate_config
 from repro.experiments.topologies import PAPER_TOPOLOGIES, WIDENED_TOPOLOGIES
@@ -118,18 +119,16 @@ def load_matrix(path: str | Path) -> dict[str, Scenario]:
     return scenarios
 
 
-def _builtin() -> dict[str, Scenario]:
+def _register_builtins() -> None:
     paper = ExperimentConfig()
-    return {
-        "paper": Scenario(
-            "paper", paper, "the paper's five topologies at laptop scale"
-        ),
-        "widened": Scenario(
+    for scenario in (
+        Scenario("paper", paper, "the paper's five topologies at laptop scale"),
+        Scenario(
             "widened",
             replace(paper, topologies=PAPER_TOPOLOGIES + WIDENED_TOPOLOGIES),
             "paper grid plus fat-tree, dragonfly and anisotropic 3-D torus",
         ),
-        "smoke": Scenario(
+        Scenario(
             "smoke",
             ExperimentConfig(
                 instances=("p2p-Gnutella", "PGPgiantcompo"),
@@ -143,19 +142,33 @@ def _builtin() -> dict[str, Scenario]:
             ),
             "minutes-scale end-to-end check (CI, demos)",
         ),
-    }
+    ):
+        REGISTRY.register(SCENARIO, scenario.name, scenario)
 
 
-#: The scenarios available without a matrix file.
-BUILTIN_SCENARIOS: dict[str, Scenario] = _builtin()
+_register_builtins()
+
+
+#: Kept under the pre-registry name as a *live* view of the unified
+#: registry (kind ``scenario``): reads always reflect later
+#: registrations and item assignment registers through, so the
+#: ``repro.experiments.BUILTIN_SCENARIOS`` re-export stays consistent.
+BUILTIN_SCENARIOS = RegistryView(REGISTRY, SCENARIO)
+
+
+def builtin_scenarios() -> dict[str, Scenario]:
+    """All scenarios registered in the unified registry (kind ``scenario``)."""
+    return dict(REGISTRY.items(SCENARIO))
 
 
 def get_scenario(name: str, matrix_path: str | Path | None = None) -> Scenario:
-    """Scenario ``name`` from ``matrix_path`` or the builtins."""
-    table = load_matrix(matrix_path) if matrix_path else BUILTIN_SCENARIOS
-    if name not in table:
-        source = str(matrix_path) if matrix_path else "builtin scenarios"
-        raise ConfigurationError(
-            f"unknown scenario {name!r} in {source}; known: {', '.join(table)}"
-        )
-    return table[name]
+    """Scenario ``name`` from ``matrix_path`` or the registered builtins."""
+    if matrix_path:
+        table = load_matrix(matrix_path)
+        if name not in table:
+            raise ConfigurationError(
+                f"unknown scenario {name!r} in {matrix_path}; "
+                f"known: {', '.join(table)}"
+            )
+        return table[name]
+    return REGISTRY.get(SCENARIO, name)

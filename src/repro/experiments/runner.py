@@ -42,6 +42,7 @@ import sys
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.api.topology import Topology
 from repro.core.config import TimerConfig
 from repro.errors import ConfigurationError
 from repro.experiments.cases import CASES, CaseRun, run_case
@@ -57,7 +58,7 @@ from repro.experiments.metrics import (
     summarize_cell,
 )
 from repro.experiments.store import STORE_SCHEMA, ArtifactStore, cell_key
-from repro.experiments.topologies import PAPER_TOPOLOGIES, make_topology, topology_names
+from repro.experiments.topologies import PAPER_TOPOLOGIES, topology_names
 from repro.partitioning.kway import partition_kway
 from repro.partitioning.partition import Partition
 from repro.utils.rng import derive_rng, derive_seed
@@ -199,7 +200,11 @@ def _run_task(task: _Task) -> list:
     partitions: dict[int, tuple[Partition, float]] = {}
     out = []
     for topo_name, case in task.cells:
-        gp, pc = make_topology(topo_name)
+        # One Topology session per name and process: recognition/labeling
+        # run once and are shared by every cell (and, under fork, by every
+        # worker inheriting the parent's session cache).
+        topo = Topology.from_name(topo_name)
+        gp, pc = topo.graph, topo.labeling
         if gp.n not in partitions:
             rng = derive_rng(config.seed, "partition", task.instance, task.rep, gp.n)
             sw = Stopwatch()

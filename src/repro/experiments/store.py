@@ -30,6 +30,7 @@ import hashlib
 import json
 import os
 import tempfile
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator
 
@@ -57,6 +58,31 @@ def deterministic_bytes(record: dict) -> bytes:
     return canonical_json(
         {"identity": record["identity"], "data": record["data"]}
     ).encode("utf-8")
+
+
+@dataclass
+class PruneReport:
+    """Outcome of :meth:`ArtifactStore.prune`."""
+
+    dry_run: bool = False
+    kept: int = 0
+    #: ``(key, reason)`` per stale record, in sorted key order.
+    stale: list = field(default_factory=list)
+
+    @property
+    def deleted(self) -> int:
+        """Records actually removed (0 on a dry run)."""
+        return 0 if self.dry_run else len(self.stale)
+
+    def render(self) -> str:
+        """Human-readable gc summary."""
+        verb = "would delete" if self.dry_run else "deleted"
+        lines = [
+            f"store gc: {self.kept} kept, {verb} {len(self.stale)} stale record(s)"
+        ]
+        for key, reason in self.stale:
+            lines.append(f"  {key[:16]}...  {reason}")
+        return "\n".join(lines) + "\n"
 
 
 class ArtifactStore:
@@ -113,6 +139,49 @@ class ArtifactStore:
                 pass
             raise
         return path
+
+    def delete(self, key: str) -> bool:
+        """Remove the record for ``key``; True when a file was deleted."""
+        try:
+            self.path_for(key).unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    def prune(
+        self,
+        *,
+        schema: int = STORE_SCHEMA,
+        code: str | None = None,
+        dry_run: bool = False,
+    ) -> "PruneReport":
+        """Garbage-collect records that no current run could ever reuse.
+
+        A record is *stale* when it is unreadable/corrupt, when its
+        ``identity.schema`` differs from ``schema``, or -- with ``code``
+        given -- when its ``identity.code`` differs.  Those records can
+        never hit again (the mismatching version is part of the cell
+        key), so they only accumulate disk; this deletes them.  With
+        ``dry_run=True`` nothing is unlinked and the report shows what
+        *would* go.
+        """
+        report = PruneReport(dry_run=dry_run)
+        for key in sorted(self.keys()):
+            record = self.get(key)
+            identity = record.get("identity", {}) if record else {}
+            if record is None:
+                reason = "unreadable"
+            elif identity.get("schema") != schema:
+                reason = f"schema {identity.get('schema')!r} != {schema!r}"
+            elif code is not None and identity.get("code") != code:
+                reason = f"code {identity.get('code')!r} != {code!r}"
+            else:
+                report.kept += 1
+                continue
+            report.stale.append((key, reason))
+            if not dry_run:
+                self.delete(key)
+        return report
 
     def __contains__(self, key: str) -> bool:
         return self.path_for(key).is_file()

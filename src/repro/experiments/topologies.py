@@ -17,13 +17,13 @@ counted both meridians of each class.  EXPERIMENTS.md discusses the
 
 from __future__ import annotations
 
-from functools import lru_cache
 from typing import Callable
 
-from repro.errors import ConfigurationError
+from repro.api.registry import REGISTRY, TOPOLOGY
+from repro.api.topology import Topology
 from repro.graphs import generators as gen
 from repro.graphs.graph import Graph
-from repro.partialcube.djokovic import PartialCubeLabeling, partial_cube_labeling
+from repro.partialcube.djokovic import PartialCubeLabeling
 
 #: The five topologies of the paper's evaluation, in Table 2 order.
 PAPER_TOPOLOGIES: tuple[str, ...] = (
@@ -45,7 +45,10 @@ WIDENED_TOPOLOGIES: tuple[str, ...] = (
     "torus8x8x4",
 )
 
-_BUILDERS: dict[str, Callable[[], Graph]] = {
+#: The built-in builders, registered below into the unified registry
+#: (kind ``topology``) -- the single lookup the CLI, the pipeline and the
+#: experiment runner all resolve topology names through.
+_BUILTIN_BUILDERS: dict[str, Callable[[], Graph]] = {
     # paper set
     "grid16x16": lambda: gen.grid(16, 16),
     "grid8x8x8": lambda: gen.grid(8, 8, 8),
@@ -71,20 +74,25 @@ _BUILDERS: dict[str, Callable[[], Graph]] = {
     "cbt4": lambda: gen.complete_binary_tree(4),
 }
 
+for _name, _builder in _BUILTIN_BUILDERS.items():
+    REGISTRY.register(TOPOLOGY, _name, _builder)
+
 
 def topology_names(paper_only: bool = False) -> tuple[str, ...]:
     """Known topology names (the paper's five, or all registered)."""
     if paper_only:
         return PAPER_TOPOLOGIES
-    return tuple(sorted(_BUILDERS))
+    return REGISTRY.names(TOPOLOGY)
 
 
-@lru_cache(maxsize=None)
 def make_topology(name: str) -> tuple[Graph, PartialCubeLabeling]:
-    """Build topology ``name`` and its partial-cube labeling (cached)."""
-    if name not in _BUILDERS:
-        raise ConfigurationError(
-            f"unknown topology {name!r}; known: {', '.join(sorted(_BUILDERS))}"
-        )
-    g = _BUILDERS[name]()
-    return g, partial_cube_labeling(g)
+    """Build topology ``name`` and its partial-cube labeling (cached).
+
+    Delegates to the :class:`~repro.api.topology.Topology` session cache
+    -- the *only* cache on this path, so harness code using ``(graph,
+    labeling)`` tuples and pipeline code using sessions share one
+    labeling per process, and ``Topology.clear_sessions()`` invalidates
+    both views together.
+    """
+    session = Topology.from_name(name)
+    return session.graph, session.labeling

@@ -27,23 +27,47 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import ConfigurationError
 from repro.graphs.builder import from_arrays
 from repro.graphs.graph import Graph
+from repro.utils.bitops import MAX_LABEL_BITS
 
 
-def fat_tree(arity: int, height: int, name: str | None = None) -> Graph:
+def fat_tree(
+    arity: int,
+    height: int,
+    name: str | None = None,
+    check_labelable: bool = True,
+) -> Graph:
     """Complete ``arity``-ary tree of the given height (root at id 0).
 
     ``height`` counts edge levels: ``height == 0`` is the bare root,
     ``fat_tree(2, h)`` equals ``complete_binary_tree(h)``.  Vertices are
     numbered level by level, so node ``v``'s children are
     ``arity * v + 1 .. arity * v + arity``.
+
+    A tree's isometric dimension equals its edge count, so packed int64
+    labelings cap usable fat-trees at ``MAX_LABEL_BITS + 1 = 64``
+    vertices (PEs).  With ``check_labelable`` (the default) a larger tree
+    raises :class:`~repro.errors.ConfigurationError` *here*, at
+    construction -- not minutes later as bit overflow inside the labeling
+    machinery.  Pass ``check_labelable=False`` to build the graph anyway
+    (e.g. for :func:`repro.partialcube.djokovic.djokovic_classes`, which
+    handles arbitrary class counts).
     """
     if arity < 2:
         raise ValueError(f"fat-tree arity must be >= 2, got {arity}")
     if height < 0:
         raise ValueError(f"fat-tree height must be >= 0, got {height}")
     n = (arity ** (height + 1) - 1) // (arity - 1)
+    if check_labelable and n - 1 > MAX_LABEL_BITS:
+        raise ConfigurationError(
+            f"fat_tree({arity}, {height}) has {n} vertices and therefore "
+            f"{n - 1} Djokovic classes, beyond the {MAX_LABEL_BITS}-class "
+            f"packed-label limit (fat-trees are capped at "
+            f"{MAX_LABEL_BITS + 1} PEs); pass check_labelable=False for "
+            f"unlabeled use"
+        )
     kids = np.arange(1, n, dtype=np.int64)
     parents = (kids - 1) // arity
     return from_arrays(n, parents, kids, name=name or f"fattree{arity}x{height}")

@@ -1,8 +1,13 @@
 """Uniform driver around the initial-mapping algorithms.
 
 The experiment harness needs "give me mu_1 for case cX" as one call; this
-module provides the registry, the block->vertex mapping expansion, and the
-common entry point :func:`compute_initial_mapping` with timing.
+module registers the paper's cases in the unified strategy registry
+(:data:`repro.api.registry.REGISTRY`, kind ``initial_mapping``), provides
+the block->vertex mapping expansion, and the common entry point
+:func:`compute_initial_mapping` with timing.  Downstream code adds its
+own algorithms by registering another :class:`MappingAlgorithm` under the
+same kind -- the CLI, the pipeline and the experiment harness all resolve
+cases from there.
 """
 
 from __future__ import annotations
@@ -12,6 +17,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.api.registry import INITIAL_MAPPING, REGISTRY, RegistryView
 from repro.errors import MappingError
 from repro.graphs.graph import Graph
 from repro.mapping.commgraph import build_communication_graph
@@ -55,17 +61,23 @@ def _drb(part: Partition, gp: Graph, seed: SeedLike) -> np.ndarray:
     return drb_mapping(build_communication_graph(part), gp, seed=seed)
 
 
-_REGISTRY: dict[str, MappingAlgorithm] = {
-    "c1": MappingAlgorithm("c1", "scotch-drb", _drb),
-    "c2": MappingAlgorithm("c2", "identity", _identity),
-    "c3": MappingAlgorithm("c3", "greedy-all-c", _greedy_all_c),
-    "c4": MappingAlgorithm("c4", "greedy-min", _greedy_min),
-}
+for _algo in (
+    MappingAlgorithm("c1", "scotch-drb", _drb),
+    MappingAlgorithm("c2", "identity", _identity),
+    MappingAlgorithm("c3", "greedy-all-c", _greedy_all_c),
+    MappingAlgorithm("c4", "greedy-min", _greedy_min),
+):
+    REGISTRY.register(INITIAL_MAPPING, _algo.case, _algo)
+
+
+#: The pre-registry module-private dict, kept as a *live* view: reads
+#: reflect the unified registry and item assignment registers through.
+_REGISTRY = RegistryView(REGISTRY, INITIAL_MAPPING)
 
 
 def available_algorithms() -> dict[str, MappingAlgorithm]:
-    """The paper's four experimental cases, keyed ``c1 .. c4``."""
-    return dict(_REGISTRY)
+    """All registered initial-mapping cases (the paper's ``c1 .. c4``)."""
+    return dict(REGISTRY.items(INITIAL_MAPPING))
 
 
 def compute_initial_mapping(
@@ -79,11 +91,14 @@ def compute_initial_mapping(
     Returns ``(mu, seconds)`` where seconds covers only the mapping step
     (the partition is an input, mirroring the paper's timing methodology).
     """
-    if case not in _REGISTRY:
-        raise MappingError(f"unknown case {case!r}; expected one of {sorted(_REGISTRY)}")
+    if (INITIAL_MAPPING, case) not in REGISTRY:
+        raise MappingError(
+            f"unknown case {case!r}; expected one of "
+            f"{sorted(REGISTRY.names(INITIAL_MAPPING))}"
+        )
     if part.k != gp.n:
         raise MappingError(f"need k == |V_p| for one-to-one mapping, got {part.k} != {gp.n}")
-    algo = _REGISTRY[case]
+    algo = REGISTRY.get(INITIAL_MAPPING, case)
     sw = Stopwatch()
     with sw:
         nu = algo.fn(part, gp, seed)

@@ -248,6 +248,21 @@ def partial_cube_labeling(g: Graph, verify: bool = True) -> PartialCubeLabeling:
     """
     if g.n == 0:
         raise NotPartialCubeError("empty graph has no labeling", reason="empty")
+    # Early cap check: a connected graph with m == n - 1 is a tree, and
+    # every tree edge is its own Djokovic class, so the isometric
+    # dimension is m.  Failing *before* the O(n * m) all-pairs BFS turns
+    # an expensive late surprise (e.g. a 127-switch fat-tree) into an
+    # instant, explicit error instead of a silent path toward packed-bit
+    # overflow.
+    if g.m == g.n - 1 and g.m > MAX_LABEL_BITS and is_connected(g):
+        raise NotPartialCubeError(
+            f"tree with {g.m} edges has isometric dimension {g.m}, beyond "
+            f"the packed-label limit of {MAX_LABEL_BITS} classes (labels "
+            f"are packed into int64); trees are capped at "
+            f"{MAX_LABEL_BITS + 1} vertices -- use djokovic_classes() for "
+            f"the raw class structure",
+            reason="dimension-too-large",
+        )
     distances = all_pairs_distances(g)
     edge_class, classes = djokovic_classes(g, distances)
     dim = len(classes)

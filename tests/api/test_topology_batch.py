@@ -1,0 +1,120 @@
+"""Topology sessions and run_batch cache amortization."""
+
+import numpy as np
+import pytest
+
+import repro.api.topology as topo_mod
+from repro.api.pipeline import Pipeline, PipelineConfig
+from repro.api.topology import Topology
+from repro.core.config import TimerConfig
+from repro.errors import ConfigurationError
+from repro.graphs import generators as gen
+
+
+class TestTopologySessions:
+    def test_from_name_shares_one_session(self):
+        a = Topology.from_name("grid4x4")
+        b = Topology.from_name("grid4x4")
+        assert a is b
+        assert a.n == 16
+
+    def test_from_graph_and_spec(self):
+        g = gen.torus(4, 4)
+        t = Topology.from_graph(g)
+        assert Topology.from_spec(t) is t
+        assert Topology.from_spec(g).graph is g
+        assert Topology.from_spec("grid4x4") is Topology.from_name("grid4x4")
+
+    def test_from_file(self, tmp_path):
+        from repro.graphs.io import write_metis
+
+        path = tmp_path / "gp.graph"
+        write_metis(gen.grid(3, 4), path)
+        t = Topology.from_spec(str(path))
+        assert t.n == 12 and t.name == "gp"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            Topology.from_name("klein-bottle")
+
+    def test_reregistration_invalidates_session(self):
+        from repro.api.registry import TOPOLOGY, register_topology
+        from repro.api.registry import REGISTRY
+
+        register_topology("_test_chip", lambda: gen.grid(2, 2))
+        try:
+            assert Topology.from_name("_test_chip").n == 4
+            register_topology("_test_chip", lambda: gen.grid(4, 4), overwrite=True)
+            assert Topology.from_name("_test_chip").n == 16
+        finally:
+            REGISTRY.unregister(TOPOLOGY, "_test_chip")
+
+    def test_labeling_lazy_and_counted(self):
+        t = Topology.from_graph(gen.grid(4, 4))
+        assert t.labelings_computed == 0
+        lab = t.labeling
+        assert t.labelings_computed == 1
+        assert t.labeling is lab  # cached
+        assert t.labelings_computed == 1
+
+    def test_supplied_labeling_never_recomputed(self):
+        from repro.partialcube.djokovic import partial_cube_labeling
+
+        g = gen.grid(4, 4)
+        pc = partial_cube_labeling(g)
+        t = Topology.from_graph(g, labeling=pc)
+        assert t.labeling is pc
+        assert t.labelings_computed == 0
+
+    def test_distances_cached(self):
+        t = Topology.from_graph(gen.grid(4, 4))
+        d = t.distances
+        assert d[0, 15] == 6  # manhattan corner-to-corner
+        assert t.distances is d
+
+
+class TestRunBatch:
+    def test_labeling_computed_exactly_once_across_batch(self, monkeypatch):
+        """The acceptance assertion: >= 3 graphs, one labeling computation."""
+        calls = {"n": 0}
+        real = topo_mod.partial_cube_labeling
+
+        def counting(g, *args, **kwargs):
+            calls["n"] += 1
+            return real(g, *args, **kwargs)
+
+        monkeypatch.setattr(topo_mod, "partial_cube_labeling", counting)
+        pipe = Pipeline(
+            Topology.from_graph(gen.grid(4, 4), name="grid4x4-batch"),
+            PipelineConfig(timer=TimerConfig(n_hierarchies=2)),
+        )
+        graphs = [gen.barabasi_albert(150 + 10 * i, 3, seed=i) for i in range(3)]
+        results = pipe.run_batch(graphs, seed=77)
+        assert len(results) == 3
+        assert calls["n"] == 1
+        assert pipe.topology.labelings_computed == 1
+        for res in results:
+            assert res.coco_after <= res.coco_before
+
+    def test_batch_seeds_are_position_stable(self):
+        """Per-graph results are stable under truncating/extending the batch."""
+        pipe = Pipeline(
+            Topology.from_graph(gen.grid(4, 4)),
+            PipelineConfig(timer=TimerConfig(n_hierarchies=2)),
+        )
+        graphs = [gen.barabasi_albert(140 + 10 * i, 3, seed=10 + i) for i in range(3)]
+        full = pipe.run_batch(graphs, seed=5)
+        prefix = pipe.run_batch(graphs[:2], seed=5)
+        for a, b in zip(prefix, full):
+            assert np.array_equal(a.mu_final, b.mu_final)
+
+    def test_explicit_seeds(self):
+        pipe = Pipeline(
+            Topology.from_graph(gen.grid(4, 4)),
+            PipelineConfig(enhance="none"),
+        )
+        g = gen.barabasi_albert(120, 3, seed=1)
+        a, b = pipe.run_batch([g, g], seeds=[3, 3])
+        assert np.array_equal(a.mu_final, b.mu_final)
+        with pytest.raises(ConfigurationError):
+            pipe.run_batch([g], seeds=[1, 2])

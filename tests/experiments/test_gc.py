@@ -1,0 +1,119 @@
+"""Store garbage collection: pruning version-mismatched cell records."""
+
+import json
+
+import pytest
+
+from repro._version import __version__
+from repro.experiments.cli import main
+from repro.experiments.store import STORE_SCHEMA, ArtifactStore, cell_key
+
+
+def _record(schema=STORE_SCHEMA, code=__version__, value=1.0):
+    identity = {"schema": schema, "code": code, "value": value}
+    return cell_key(identity), {
+        "identity": identity,
+        "data": {"metric": value},
+        "timing": {"seconds": 0.1},
+    }
+
+
+@pytest.fixture
+def populated_store(tmp_path):
+    store = ArtifactStore(tmp_path / "cells")
+    keys = {}
+    for name, rec in (
+        ("current", _record(value=1.0)),
+        ("current2", _record(value=2.0)),
+        ("old_schema", _record(schema=STORE_SCHEMA - 1, value=3.0)),
+        ("old_code", _record(code="0.0.0-ancient", value=4.0)),
+    ):
+        key, record = rec
+        store.put(key, record)
+        keys[name] = key
+    # One unreadable record
+    corrupt = store.path_for("ff" * 32)
+    corrupt.parent.mkdir(parents=True, exist_ok=True)
+    corrupt.write_text("{not json", encoding="utf-8")
+    keys["corrupt"] = "ff" * 32
+    return store, keys
+
+
+class TestPrune:
+    def test_removes_stale_keeps_current(self, populated_store):
+        store, keys = populated_store
+        report = store.prune(code=__version__)
+        assert report.kept == 2
+        assert report.deleted == 3
+        stale_keys = {k for k, _ in report.stale}
+        assert stale_keys == {keys["old_schema"], keys["old_code"], keys["corrupt"]}
+        assert keys["current"] in store
+        assert keys["old_schema"] not in store
+        assert keys["corrupt"] not in store
+
+    def test_dry_run_deletes_nothing(self, populated_store):
+        store, keys = populated_store
+        before = sorted(store.keys())
+        report = store.prune(code=__version__, dry_run=True)
+        assert report.deleted == 0
+        assert len(report.stale) == 3
+        assert sorted(store.keys()) == before
+
+    def test_code_none_keeps_other_codes(self, populated_store):
+        store, keys = populated_store
+        report = store.prune()  # no code filter: only schema + corruption
+        stale_keys = {k for k, _ in report.stale}
+        assert keys["old_code"] not in stale_keys
+        assert keys["old_schema"] in stale_keys
+
+    def test_reasons_are_explanatory(self, populated_store):
+        store, _ = populated_store
+        reasons = dict(store.prune(code=__version__, dry_run=True).stale)
+        assert any("schema" in r for r in reasons.values())
+        assert any("code" in r for r in reasons.values())
+        assert any("unreadable" in r for r in reasons.values())
+
+
+class TestGcCli:
+    def test_gc_requires_store(self):
+        with pytest.raises(SystemExit):
+            main(["gc"])
+
+    def test_gc_refuses_nonexistent_store(self, tmp_path):
+        """A mistyped --store must not be silently created as empty."""
+        missing = tmp_path / "no-such-store"
+        with pytest.raises(SystemExit) as exc:
+            main(["gc", "--store", str(missing)])
+        assert "does not exist" in str(exc.value)
+        assert not missing.exists()
+
+    def test_gc_dry_run_then_delete(self, populated_store, capsys, tmp_path):
+        store, keys = populated_store
+        rc = main(["gc", "--store", str(store.root), "--dry-run"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "would delete 3" in out
+        assert len(list(store.keys())) == 5
+
+        rc = main(["gc", "--store", str(store.root)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "deleted 3" in out
+        assert sorted(store.keys()) == sorted([keys["current"], keys["current2"]])
+
+    def test_gc_out_file(self, populated_store, tmp_path):
+        store, _ = populated_store
+        out_file = tmp_path / "gc.txt"
+        assert main(["gc", "--store", str(store.root), "--dry-run",
+                     "--out", str(out_file)]) == 0
+        assert "stale record" in out_file.read_text()
+
+    def test_gc_survives_resumed_sweep_records(self, tmp_path):
+        """gc on a store written by a real (smoke) sweep keeps everything."""
+        store = ArtifactStore(tmp_path / "cells")
+        key, record = _record()
+        store.put(key, record)
+        report = store.prune(code=__version__)
+        assert report.kept == 1 and report.deleted == 0
+        # the record file is valid JSON on disk
+        assert json.loads(store.path_for(key).read_text())["identity"]["code"] == __version__

@@ -63,6 +63,24 @@ class TestPartitionMapEnhance:
         assert main(["map", graph_file, torus_file, "-o", str(out)]) == 0
         assert len(out.read_text().split()) == 200
 
+    def test_map_rejects_non_partial_cube_topology_file(
+        self, graph_file, tmp_path, capsys
+    ):
+        """Historical contract: map validates the topology up front."""
+        from repro.graphs import generators as gen
+        from repro.graphs.io import write_metis
+
+        bad = tmp_path / "c5.graph"
+        write_metis(gen.cycle(5), bad)  # odd cycle: not even bipartite
+        rc = main(["map", graph_file, str(bad)])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_map_unknown_topology_name(self, graph_file, capsys):
+        rc = main(["map", graph_file, "klein-bottle"])
+        assert rc == 2
+        assert "unknown topology" in capsys.readouterr().err
+
     def test_enhance_round_trip(self, graph_file, tmp_path, capsys):
         mu_file = tmp_path / "mu.txt"
         out_file = tmp_path / "mu2.txt"
@@ -94,3 +112,56 @@ class TestPartitionMapEnhance:
         rc = main(["enhance", graph_file, "grid4x4", str(bad), "--nh", "1"])
         assert rc == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestPipelineByteEquivalence:
+    """`map`/`enhance` ride repro.api.Pipeline now; on fixed seeds their
+    output files must be byte-identical to the pre-redesign hand-wired
+    sequence (partition_kway -> compute_initial_mapping -> timer_enhance
+    with the CLI's historical raw per-stage seeding)."""
+
+    @pytest.mark.parametrize("case", ["c1", "c2", "c3", "c4"])
+    def test_map_output_bytes(self, graph_file, tmp_path, case):
+        from repro.experiments.topologies import make_topology
+        from repro.graphs.io import read_metis
+        from repro.mapping.mapper import compute_initial_mapping
+        from repro.partitioning.kway import partition_kway
+
+        out = tmp_path / "mu.txt"
+        assert main(
+            ["map", graph_file, "grid4x4", "--case", case,
+             "--seed", "17", "-o", str(out)]
+        ) == 0
+        g = read_metis(graph_file, name="app")
+        gp, _pc = make_topology("grid4x4")
+        part = partition_kway(g, gp.n, epsilon=0.03, seed=17)
+        mu, _ = compute_initial_mapping(case, part, gp, seed=17)
+        expected = "\n".join(str(int(v)) for v in mu) + "\n"
+        assert out.read_text() == expected
+
+    @pytest.mark.parametrize("strategy", ["greedy", "kl"])
+    def test_enhance_output_bytes(self, graph_file, tmp_path, strategy):
+        from repro.core.config import TimerConfig
+        from repro.core.enhancer import timer_enhance
+        from repro.experiments.topologies import make_topology
+        from repro.graphs.io import read_metis
+
+        mu_file = tmp_path / "mu.txt"
+        out = tmp_path / "enh.txt"
+        main(["map", graph_file, "grid4x4", "-o", str(mu_file)])
+        assert main(
+            ["enhance", graph_file, "grid4x4", str(mu_file),
+             "--nh", "3", "--strategy", strategy, "--seed", "8",
+             "-o", str(out)]
+        ) == 0
+        g = read_metis(graph_file, name="app")
+        gp, pc = make_topology("grid4x4")
+        mu0 = np.asarray(
+            [int(x) for x in mu_file.read_text().split()], dtype=np.int64
+        )
+        res = timer_enhance(
+            g, gp, pc, mu0, seed=8,
+            config=TimerConfig(n_hierarchies=3, swap_strategy=strategy),
+        )
+        expected = "\n".join(str(int(v)) for v in res.mu_after) + "\n"
+        assert out.read_text() == expected

@@ -1,0 +1,57 @@
+"""Early, explicit errors at the 63-class packed-label cap."""
+
+import pytest
+
+import repro.partialcube.djokovic as djk
+from repro.errors import ConfigurationError, NotPartialCubeError, ReproError
+from repro.graphs import generators as gen
+from repro.utils.bitops import MAX_LABEL_BITS
+
+
+class TestFatTreeCap:
+    def test_oversized_fat_tree_raises_at_construction(self):
+        # 2-ary height 6 = 127 switches = 126 Djokovic classes > 63
+        with pytest.raises(ConfigurationError) as exc:
+            gen.fat_tree(2, 6)
+        assert "packed-label limit" in str(exc.value)
+        assert isinstance(exc.value, ReproError)
+
+    def test_escape_hatch_builds_the_graph(self):
+        t = gen.fat_tree(2, 6, check_labelable=False)
+        assert t.n == 127 and t.m == 126
+
+    def test_largest_labelable_fat_tree_still_works(self):
+        # 2-ary height 5 = 63 switches = 62 classes <= 63: fine
+        t = gen.fat_tree(2, 5)
+        pc = djk.partial_cube_labeling(t)
+        assert pc.dim == t.m == 62
+
+
+class TestEarlyLabelingCap:
+    def test_tree_beyond_cap_fails_before_distance_computation(self, monkeypatch):
+        t = gen.fat_tree(2, 6, check_labelable=False)
+
+        def bomb(_g):  # pragma: no cover - must never run
+            raise AssertionError("all-pairs distances computed despite early cap")
+
+        monkeypatch.setattr(djk, "all_pairs_distances", bomb)
+        with pytest.raises(NotPartialCubeError) as exc:
+            djk.partial_cube_labeling(t)
+        assert exc.value.reason == "dimension-too-large"
+        assert str(MAX_LABEL_BITS) in str(exc.value)
+
+    def test_path_just_beyond_cap(self):
+        p = gen.path(MAX_LABEL_BITS + 2)  # 65 vertices, 64 edges
+        with pytest.raises(NotPartialCubeError) as exc:
+            djk.partial_cube_labeling(p)
+        assert exc.value.reason == "dimension-too-large"
+
+    def test_path_at_cap_ok(self):
+        p = gen.path(MAX_LABEL_BITS + 1)  # 64 vertices, 63 edges
+        pc = djk.partial_cube_labeling(p)
+        assert pc.dim == MAX_LABEL_BITS
+
+    def test_raw_classes_still_available_beyond_cap(self):
+        t = gen.fat_tree(2, 6, check_labelable=False)
+        edge_class, classes = djk.djokovic_classes(t)
+        assert len(classes) == t.m  # every tree edge its own class
