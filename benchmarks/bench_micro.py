@@ -159,3 +159,73 @@ def test_bench_permute_labels(benchmark, workload):
     perm = rng.permutation(app.dim)
     out = benchmark(permute_bits, app.labels, perm)
     assert out.shape == app.labels.shape
+
+
+# ----------------------------------------------------------------------
+# Wide-label (multi-word) benches: same kernels past the 63-class cap
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def wide_workload():
+    """BA n=2000 mapped onto fattree2x7 (255 PEs, dim 254 -> 4 words)."""
+    ga = gen.barabasi_albert(2000, 4, seed=1)
+    gp = gen.fat_tree(2, 7)
+    pc = partial_cube_labeling(gp)
+    rng = np.random.default_rng(2)
+    mu = (np.arange(ga.n) % gp.n).astype(np.int64)
+    rng.shuffle(mu)
+    app = build_application_labeling(ga, pc, mu, seed=3)
+    assert app.labels.ndim == 2  # really on the wide path
+    return ga, gp, pc, app
+
+
+def test_bench_wide_recognition_fattree2x7(benchmark):
+    gp = gen.fat_tree(2, 7)
+    lab = benchmark(partial_cube_labeling, gp)
+    assert lab.dim == 254 and lab.labels.shape == (255, 4)
+
+
+def test_bench_wide_coco_plus_eval(benchmark, wide_workload):
+    ga, _, _, app = wide_workload
+    val = benchmark(coco_plus, ga, app.labels, app.dim_p, app.dim_e)
+    assert np.isfinite(val)
+
+
+def test_bench_wide_swap_pass_level1(benchmark, wide_workload):
+    ga, _, _, app = wide_workload
+
+    def run():
+        lvl = make_finest_level(ga.edge_arrays(), app.labels.copy())
+        return swap_pass(lvl, sign=1)
+
+    n_swaps, _ = benchmark(run)
+    assert n_swaps >= 0
+
+
+def test_bench_wide_swap_pass_scalar_reference(benchmark, wide_workload):
+    ga, _, _, app = wide_workload
+
+    def run():
+        lvl = make_finest_level(ga.edge_arrays(), app.labels.copy())
+        return swap_pass_reference(lvl, sign=1)
+
+    n_swaps, _ = benchmark(run)
+    assert n_swaps >= 0
+
+
+def test_bench_wide_contraction(benchmark, wide_workload):
+    ga, _, _, app = wide_workload
+
+    def run():
+        lvl = make_finest_level(ga.edge_arrays(), app.labels.copy())
+        return contract_level(lvl)
+
+    coarse = benchmark(run)
+    assert coarse.n <= ga.n
+
+
+def test_bench_wide_permute_labels(benchmark, wide_workload):
+    ga, _, _, app = wide_workload
+    rng = np.random.default_rng(4)
+    perm = rng.permutation(app.dim)
+    out = benchmark(permute_bits, app.labels, perm)
+    assert out.shape == app.labels.shape

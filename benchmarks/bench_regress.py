@@ -14,6 +14,12 @@ comparison stays honest as the library evolves.  Each measurement is
 best-of-``repeats`` wall time; the runner exits non-zero if a kernel
 regresses below its floor (swap_pass >= 5x, partial-cube labeling >= 3x),
 making it usable as a CI smoke gate.
+
+The ``wide_*`` entries time the same kernels on the multi-word label
+representation (fattree2x7: 255 PEs, 254 classes, 4-word labels) --
+their floors prove the wide path stays vectorized, while the unchanged
+narrow floors prove the ``W == 1`` fast path did not slow down under the
+representation split.
 """
 
 from __future__ import annotations
@@ -42,7 +48,12 @@ from repro.partialcube.djokovic import (
 OUTPUT = Path(__file__).parent / "BENCH_kernels.json"
 
 #: speedup floors enforced by the runner (and recorded in the JSON)
-FLOORS = {"swap_pass": 5.0, "partial_cube_labeling": 3.0}
+FLOORS = {
+    "swap_pass": 5.0,
+    "partial_cube_labeling": 3.0,
+    "wide_swap_pass": 3.0,
+    "wide_partial_cube_labeling": 3.0,
+}
 
 
 def _best_of(fn, repeats: int) -> float:
@@ -132,6 +143,46 @@ def run(repeats: int = 5) -> dict:
         "workload": "16x16 grid, distances precomputed, production default (auto)",
         "before_s": _best_of(lambda: djokovic_classes(gp, dist, "loop"), repeats),
         "after_s": _best_of(lambda: djokovic_classes(gp, dist, "auto"), repeats),
+    }
+
+    # --- wide labels: same kernels past the 63-class cap ----------------
+    ft = gen.fat_tree(2, 7)  # 255 PEs, 254 Djokovic classes, W = 4
+    ft_pc = partial_cube_labeling(ft)
+    mu_ft = (np.arange(ga.n) % ft.n).astype(np.int64)
+    np.random.default_rng(2).shuffle(mu_ft)
+    wide_app = build_application_labeling(ga, ft_pc, mu_ft, seed=3)
+    assert wide_app.labels.ndim == 2  # really multi-word
+
+    def before_wide_swaps():
+        lvl = make_finest_level(edges, wide_app.labels.copy())
+        return swap_pass_reference(lvl, sign=1)
+
+    def after_wide_swaps():
+        lvl = make_finest_level(edges, wide_app.labels.copy())
+        return swap_pass(lvl, sign=1)
+
+    wa = make_finest_level(edges, wide_app.labels.copy())
+    wb = make_finest_level(edges, wide_app.labels.copy())
+    rwa = swap_pass_reference(wa, sign=1)
+    rwb = swap_pass(wb, sign=1)
+    if rwa != rwb or not np.array_equal(wa.labels, wb.labels):
+        raise AssertionError(f"wide batch swap diverged from scalar: {rwa} vs {rwb}")
+    results["wide_swap_pass"] = {
+        "workload": "BA n=2000 m=4 on fattree2x7 (dim 256, 4-word labels)",
+        "before_s": _best_of(before_wide_swaps, repeats),
+        "after_s": _best_of(after_wide_swaps, repeats),
+    }
+
+    def before_wide_pc():
+        return _seed_partial_cube_labeling(ft)
+
+    def after_wide_pc():
+        return partial_cube_labeling(ft)
+
+    results["wide_partial_cube_labeling"] = {
+        "workload": "fattree2x7 (255 switches, dim 254), recognition + labeling",
+        "before_s": _best_of(before_wide_pc, repeats),
+        "after_s": _best_of(after_wide_pc, repeats),
     }
 
     # --- edge_arrays caching --------------------------------------------

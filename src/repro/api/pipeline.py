@@ -57,6 +57,7 @@ from repro.graphs.graph import Graph
 from repro.mapping.objective import coco_from_distances
 from repro.partitioning.metrics import edge_cut
 from repro.partitioning.partition import Partition
+from repro.utils.parallel import preferred_mp_context
 from repro.utils.rng import SeedLike, derive_seed, make_rng
 from repro.utils.stopwatch import Stopwatch
 
@@ -360,6 +361,7 @@ class Pipeline:
         *,
         seeds: Sequence[SeedLike] | None = None,
         seed: int | None = None,
+        jobs: int = 1,
     ) -> list[PipelineResult]:
         """Run every graph through the session, sharing all topology caches.
 
@@ -371,6 +373,14 @@ class Pipeline:
         identity rather than position pass explicit ``seeds`` (e.g. via
         :func:`repro.utils.rng.derive_seed` on their own names, the
         experiment runner's convention).
+
+        ``jobs > 1`` fans the batch out over a worker-process pool (fork
+        on Linux -- workers inherit the warmed topology caches -- spawn
+        elsewhere).  Because every per-graph seed is derived from the
+        batch identity rather than the execution order, ``jobs=N`` is
+        byte-identical to ``jobs=1``; results come back in input order.
+        ``seeds`` entries must then be picklable (``None``/ints, not
+        live generators), as must any explicit stage instances.
         """
         graphs = list(graphs)
         if seeds is None:
@@ -385,7 +395,33 @@ class Pipeline:
             raise ConfigurationError(
                 f"got {len(seeds)} seeds for {len(graphs)} graphs"
             )
-        return [self.run(ga, seed=s) for ga, s in zip(graphs, seeds)]
+        else:
+            seeds = list(seeds)
+        if jobs <= 1 or len(graphs) <= 1:
+            return [self.run(ga, seed=s) for ga, s in zip(graphs, seeds)]
+        if any(isinstance(s, np.random.Generator) for s in seeds):
+            raise ConfigurationError(
+                "run_batch(jobs>1) needs picklable seeds (None or ints); "
+                "live numpy Generators cannot cross process boundaries"
+            )
+        # Warm the session caches the batch will need *before* the pool
+        # exists: forked workers inherit them (labeling computed exactly
+        # once per batch, same as jobs=1) and spawn workers receive them
+        # pickled inside the topology payload.  Verify/report hooks may
+        # read either cache, so with hooks configured both get warmed.
+        has_hooks = bool(self._pre_verify or self._post_verify or self._reports)
+        if self._enhance is not None or has_hooks:
+            self.topology.labeling
+        if self._enhance is None or has_hooks:
+            self.topology.distances
+        ctx = preferred_mp_context()
+        payload = self._pickle_payload()
+        with ctx.Pool(
+            processes=min(int(jobs), len(graphs)),
+            initializer=_batch_worker_init,
+            initargs=(payload,),
+        ) as pool:
+            return pool.starmap(_batch_worker_run, zip(graphs, seeds), chunksize=1)
 
     # -- internals -----------------------------------------------------
     @staticmethod
@@ -422,6 +458,32 @@ class Pipeline:
             "coco_after": coco,
         }
 
+    def _pickle_payload(self) -> tuple:
+        """What crosses a process boundary instead of the Pipeline itself.
+
+        The default ``REGISTRY`` travels as ``None`` and is re-resolved
+        from the worker's own imports -- its topology builders are
+        lambdas and must never enter a pickle stream.  A *custom*
+        registry is included verbatim, so workers resolve the same
+        strategies as the parent (an unpicklable custom registry fails
+        loudly at submit time rather than silently resolving stage names
+        against the wrong registry).
+        """
+        return (
+            self.topology.graph,
+            self.topology._labeling,
+            self.topology._distances,
+            self.topology.name,
+            self.config,
+            self._stage_overrides,
+            None if self.registry is REGISTRY else self.registry,
+        )
+
+    def __reduce__(self):
+        # Explicit stage instances survive when they are picklable --
+        # all built-ins are.
+        return (_rebuild_pipeline, self._pickle_payload())
+
     def _identity(
         self,
         ga: Graph,
@@ -445,3 +507,35 @@ class Pipeline:
                 "mu": _array_fingerprint(mu_in),
             },
         }
+
+
+# ----------------------------------------------------------------------
+# run_batch worker plumbing
+# ----------------------------------------------------------------------
+#: Per-worker pipeline, set by the pool initializer.  Fork workers
+#: inherit the parent's warmed caches through the payload objects; spawn
+#: workers receive them pickled.
+_BATCH_PIPELINE: "Pipeline | None" = None
+
+
+def _rebuild_pipeline(
+    graph, labeling, distances, name, config, stage_overrides, registry=None
+):
+    """Reconstruct a Pipeline from its picklable payload (see __reduce__)."""
+    topology = Topology.from_graph(graph, labeling=labeling, name=name)
+    topology._distances = distances
+    return Pipeline(
+        topology,
+        config,
+        registry=REGISTRY if registry is None else registry,
+        **stage_overrides,
+    )
+
+
+def _batch_worker_init(payload) -> None:
+    global _BATCH_PIPELINE
+    _BATCH_PIPELINE = _rebuild_pipeline(*payload)
+
+
+def _batch_worker_run(ga: Graph, seed) -> PipelineResult:
+    return _BATCH_PIPELINE.run(ga, seed=seed)

@@ -212,10 +212,9 @@ def verify_balance_preserved(ctx: StageContext) -> None:
 
 def verify_labeling_isometric(ctx: StageContext) -> None:
     """Hamming distances of the topology labels must equal hop distances."""
-    from repro.utils.bitops import bitwise_count
+    from repro.utils.bitops import pairwise_hamming
 
-    labels = ctx.topology.labeling.labels
-    ham = bitwise_count(labels[:, None] ^ labels[None, :])
+    ham = pairwise_hamming(ctx.topology.labeling.labels)
     if not np.array_equal(ham, ctx.topology.distances):
         raise MappingError("topology labeling is not isometric")
 

@@ -13,10 +13,29 @@ All caches are lazy, so paths that never touch them (e.g. the experiment
 runner, which evaluates Coco from labels) never pay for them.
 ``labelings_computed`` counts actual labeling computations; the batch
 test asserts it stays at one across a whole ``run_batch``.
+
+Cross-process labeling cache
+----------------------------
+The in-process session cache dies with the process, so an experiment
+sweep with spawn workers (or repeated CLI invocations) used to recompute
+every labeling per process.  Setting the ``REPRO_LABELING_CACHE``
+environment variable to a directory (the experiment runner points it at
+``<store>/labelings`` automatically) persists each labeling as one
+``.npz`` file keyed by the artifact store's identity-hash convention --
+sha256 of a canonical identity covering the store schema, the code
+version and a content fingerprint of the graph's edges.  Writes are
+atomic (temp file + ``os.replace``), concurrent writers settle on one
+complete record, and unreadable or mismatched files degrade to a
+recompute, exactly like :class:`~repro.experiments.store.ArtifactStore`
+records.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
+import tempfile
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -26,6 +45,12 @@ from repro.errors import ConfigurationError
 from repro.graphs.algorithms import all_pairs_distances
 from repro.graphs.graph import Graph
 from repro.partialcube.djokovic import PartialCubeLabeling, partial_cube_labeling
+
+#: Environment variable naming the labeling cache directory ("" = off).
+LABELING_CACHE_ENV = "REPRO_LABELING_CACHE"
+
+#: Bumped when the cache file layout changes; part of every cache key.
+_LABELING_CACHE_SCHEMA = 1
 
 #: Process-wide session cache for registered topology names.  Entries
 #: are dropped automatically when their builder is re-registered or
@@ -118,10 +143,20 @@ class Topology:
 
     @property
     def labeling(self) -> PartialCubeLabeling:
-        """The partial-cube labeling, computed at most once per session."""
+        """The partial-cube labeling, computed at most once per session.
+
+        With ``REPRO_LABELING_CACHE`` set, a disk hit replaces the
+        computation entirely (``labelings_computed`` stays 0), and a
+        fresh computation is persisted for every other process.
+        """
         if self._labeling is None:
-            self._labeling = partial_cube_labeling(self.graph)
-            self.labelings_computed += 1
+            cached = _load_cached_labeling(self.graph)
+            if cached is not None:
+                self._labeling = cached
+            else:
+                self._labeling = partial_cube_labeling(self.graph)
+                self.labelings_computed += 1
+                _store_cached_labeling(self.graph, self._labeling)
         return self._labeling
 
     @property
@@ -134,3 +169,94 @@ class Topology:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         lab = self._labeling.dim if self._labeling is not None else "?"
         return f"Topology({self.name!r}, n={self.graph.n}, dim={lab})"
+
+
+# ----------------------------------------------------------------------
+# Cross-process labeling cache
+# ----------------------------------------------------------------------
+def labeling_cache_key(graph: Graph) -> str:
+    """Store-convention identity hash of a graph's labeling.
+
+    Keys by *content* (edge-array fingerprint), not by name, so two
+    registrations of the same topology share one cache file and renaming
+    never serves stale labels.
+    """
+    from repro._version import __version__
+    from repro.experiments.store import STORE_SCHEMA, cell_key
+
+    us, vs, ws = graph.edge_arrays()
+    edges = hashlib.sha256()
+    for arr in (us, vs, ws):
+        edges.update(np.ascontiguousarray(arr).tobytes())
+    return cell_key(
+        {
+            "schema": STORE_SCHEMA,
+            "kind": "labeling",
+            "cache_schema": _LABELING_CACHE_SCHEMA,
+            "code": __version__,
+            "graph": {"n": int(graph.n), "m": int(graph.m),
+                      "edges": edges.hexdigest()},
+        }
+    )
+
+
+def _cache_dir() -> Path | None:
+    root = os.environ.get(LABELING_CACHE_ENV, "")
+    return Path(root) if root else None
+
+
+def _load_cached_labeling(graph: Graph) -> PartialCubeLabeling | None:
+    """Disk-cache lookup; any corruption degrades to a miss."""
+    root = _cache_dir()
+    if root is None:
+        return None
+    path = root / f"{labeling_cache_key(graph)}.npz"
+    try:
+        with np.load(path) as z:
+            labels = z["labels"]
+            dim = int(z["dim"])
+            flat = z["cut_edges"]
+            splits = z["cut_splits"]
+    except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile):
+        # Truncated zip magic raises BadZipFile, not ValueError; any
+        # unreadable file must degrade to a recompute, never a crash.
+        return None
+    cut_edges = tuple(np.split(flat, splits)) if dim else ()
+    if len(cut_edges) != dim or labels.shape[0] != graph.n:
+        return None
+    return PartialCubeLabeling(labels=labels, dim=dim, cut_edges=cut_edges)
+
+
+def _store_cached_labeling(graph: Graph, pc: PartialCubeLabeling) -> None:
+    """Atomic cache write (temp + ``os.replace``); failures are silent."""
+    root = _cache_dir()
+    if root is None:
+        return
+    try:
+        root.mkdir(parents=True, exist_ok=True)
+        path = root / f"{labeling_cache_key(graph)}.npz"
+        if pc.dim:
+            flat = np.concatenate([np.asarray(c) for c in pc.cut_edges])
+            splits = np.cumsum([c.shape[0] for c in pc.cut_edges])[:-1]
+        else:
+            flat = np.empty((0, 2), dtype=np.int64)
+            splits = np.empty(0, dtype=np.int64)
+        fd, tmp = tempfile.mkstemp(dir=root, prefix=".labeling-", suffix=".npz.tmp")
+        try:
+            with os.fdopen(fd, "wb") as f:
+                np.savez(
+                    f,
+                    labels=pc.labels,
+                    dim=np.int64(pc.dim),
+                    cut_edges=flat,
+                    cut_splits=np.asarray(splits, dtype=np.int64),
+                )
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    except OSError:  # pragma: no cover - disk-full / permission paths
+        pass

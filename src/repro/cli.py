@@ -79,8 +79,10 @@ def cmd_recognize(args) -> int:
         return 1
     print(f"partial cube of dimension {pc.dim}")
     if args.labels:
+        from repro.utils.bitops import label_to_int
+
         for v in range(g.n):
-            print(f"{v} {int(pc.labels[v]):0{pc.dim}b}")
+            print(f"{v} {label_to_int(pc.labels, v):0{pc.dim}b}")
     return 0
 
 
@@ -91,6 +93,12 @@ def cmd_partition(args) -> int:
           file=sys.stderr)
     _write_assignment(args.out, part.assignment)
     return 0
+
+
+def _print_reports(res) -> None:
+    """Render --report hook outputs on stderr (stdout carries the mapping)."""
+    for name, value in res.reports.items():
+        print(f"[report {name}] {value}", file=sys.stderr)
 
 
 def cmd_map(args) -> int:
@@ -108,7 +116,8 @@ def cmd_map(args) -> int:
             enhance="none",
             epsilon=args.epsilon,
             seed_policy="raw",
-            post_verify=("mapping-valid",),
+            post_verify=("mapping-valid",) + tuple(args.verify),
+            reports=tuple(args.report),
         ),
     )
     res = pipe.run(g, seed=args.seed)
@@ -117,6 +126,7 @@ def cmd_map(args) -> int:
         f"(mapping time {res.stage_seconds('initial_mapping'):.2f}s)",
         file=sys.stderr,
     )
+    _print_reports(res)
     _write_assignment(args.out, res.mu_final)
     return 0
 
@@ -134,7 +144,8 @@ def cmd_enhance(args) -> int:
             seed_policy="raw",
             timer=TimerConfig(n_hierarchies=args.nh, swap_strategy=args.strategy),
             pre_verify=("mapping-valid",),
-            post_verify=("balance-preserved",),
+            post_verify=("balance-preserved",) + tuple(args.verify),
+            reports=tuple(args.report),
         ),
     )
     res = pipe.run(g, mu=mu, seed=args.seed)
@@ -146,6 +157,7 @@ def cmd_enhance(args) -> int:
         f"{timer.elapsed_seconds:.2f}s",
         file=sys.stderr,
     )
+    _print_reports(res)
     _write_assignment(args.out, res.mu_final)
     return 0
 
@@ -174,6 +186,24 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("-o", "--out", default=None)
     q.set_defaults(fn=cmd_partition)
 
+    def add_hook_flags(parser) -> None:
+        parser.add_argument(
+            "--verify",
+            action="append",
+            default=[],
+            metavar="NAME",
+            help="additional post-run verify hook from the registry "
+            "(repeatable); unknown names list the known ones",
+        )
+        parser.add_argument(
+            "--report",
+            action="append",
+            default=[],
+            metavar="NAME",
+            help="report hook from the registry (repeatable); results "
+            "print to stderr",
+        )
+
     q = sub.add_parser("map", help="partition + initial mapping")
     q.add_argument("graph")
     q.add_argument("topology", help="registered name or METIS file")
@@ -181,6 +211,7 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--epsilon", type=float, default=0.03)
     q.add_argument("--seed", type=int, default=0)
     q.add_argument("-o", "--out", default=None)
+    add_hook_flags(q)
     q.set_defaults(fn=cmd_map)
 
     q = sub.add_parser("enhance", help="run TIMER on an existing mapping")
@@ -191,6 +222,7 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--strategy", choices=["greedy", "kl"], default="greedy")
     q.add_argument("--seed", type=int, default=0)
     q.add_argument("-o", "--out", default=None)
+    add_hook_flags(q)
     q.set_defaults(fn=cmd_enhance)
     return p
 

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.utils.bitops import copy_labels, shift_right_labels, unique_labels
 from repro.utils.segments import group_reduce_sum
 
 
@@ -45,9 +46,13 @@ class Level:
 
 
 def make_finest_level(ga_edges: tuple, labels: np.ndarray) -> Level:
-    """Wrap ``G_a``'s edge arrays and the permuted labels as level 1."""
+    """Wrap ``G_a``'s edge arrays and the permuted labels as level 1.
+
+    Accepts both label representations; the copy keeps narrow labels
+    ``int64`` and wide labels ``(n, W)`` ``uint64``.
+    """
     us, vs, ws = ga_edges
-    return Level(us=us, vs=vs, ws=ws, labels=np.asarray(labels, dtype=np.int64).copy())
+    return Level(us=us, vs=vs, ws=ws, labels=copy_labels(labels))
 
 
 def contract_level(level: Level) -> Level:
@@ -58,8 +63,8 @@ def contract_level(level: Level) -> Level:
     summation; edges collapsing inside a coarse vertex vanish (they can no
     longer influence any coarser gain).
     """
-    prefixes = level.labels >> 1
-    coarse_labels, parent = np.unique(prefixes, return_inverse=True)
+    prefixes = shift_right_labels(level.labels, 1)
+    coarse_labels, parent = unique_labels(prefixes)
     level.parent = parent.astype(np.int64)
     cu = level.parent[level.us]
     cv = level.parent[level.vs]

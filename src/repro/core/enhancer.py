@@ -38,7 +38,7 @@ from repro.graphs.graph import Graph
 from repro.partialcube.djokovic import PartialCubeLabeling, partial_cube_labeling
 from repro.partitioning.metrics import edge_cut
 from repro.utils.rng import SeedLike, make_rng
-from repro.utils.bitops import permute_bits, unpermute_bits
+from repro.utils.bitops import label_sort_keys, permute_bits, unpermute_bits
 from repro.utils.segments import build_csr
 from repro.utils.stopwatch import Stopwatch
 
@@ -151,7 +151,7 @@ def _enhance_labeling(
     current_val = coco_plus(ga, current, app.dim_p, dim_e)
     history: list[float] = []
     accepted = 0
-    original_sorted = np.sort(app.labels)
+    original_sorted = np.sort(label_sort_keys(app.labels))
     # Selection policy "best_coco": remember the accepted iterate with the
     # lowest Coco (including the start), so the returned mapping never
     # regresses the paper's headline metric even at small N_H.
@@ -168,7 +168,7 @@ def _enhance_labeling(
         # Paper line 17: revert only when strictly worse.
         if cand_val <= current_val:
             if cfg.verify_invariants and not np.array_equal(
-                np.sort(candidate), original_sorted
+                np.sort(label_sort_keys(candidate)), original_sorted
             ):
                 raise RuntimeError("label multiset changed during a hierarchy")
             current, current_val = candidate, cand_val

@@ -60,6 +60,7 @@ import os
 import numpy as np
 
 from repro.core.contraction import Level
+from repro.utils.bitops import label_lsb, label_sort_keys
 from repro.utils.segments import build_csr, segment_sum
 
 __all__ = [
@@ -127,14 +128,16 @@ def set_backend(name: str | None) -> None:
 if _numba is not None:  # pragma: no cover - numba not in the CI image
 
     @_numba.njit(cache=True)
-    def _vertex_lsb_sums_numba(labels, indptr, indices, weights):
-        n = labels.shape[0]
+    def _vertex_lsb_sums_numba(lsb, indptr, indices, weights):
+        # Takes the per-vertex LSB array (not the labels) so the same
+        # kernel serves both the narrow and the wide representation.
+        n = lsb.shape[0]
         out = np.zeros(n, dtype=np.float64)
         for u in range(n):
-            lu = labels[u] & 1
+            lu = lsb[u]
             acc = 0.0
             for k in range(indptr[u], indptr[u + 1]):
-                x = lu ^ (labels[indices[k]] & 1)
+                x = lu ^ lsb[indices[k]]
                 acc += weights[k] * (1.0 - 2.0 * x)
             out[u] = acc
         return out
@@ -159,11 +162,24 @@ def sibling_pairs(labels: np.ndarray) -> np.ndarray:
     """``(k, 2)`` array of vertex pairs whose labels differ only in bit 0.
 
     Pairs are returned in ascending prefix order; labels are assumed
-    unique (true on every hierarchy level).
+    unique (true on every hierarchy level).  Wide labels sort through
+    their big-endian byte keys (:func:`~repro.utils.bitops.label_sort_keys`),
+    which order exactly like the packed integers do on the narrow path.
     """
-    order = np.argsort(labels, kind="stable")
-    lab_sorted = labels[order]
-    adjacent = (lab_sorted[1:] >> 1) == (lab_sorted[:-1] >> 1)
+    if labels.ndim == 1:
+        order = np.argsort(labels, kind="stable")
+        lab_sorted = labels[order]
+        adjacent = (lab_sorted[1:] >> 1) == (lab_sorted[:-1] >> 1)
+    else:
+        order = np.argsort(label_sort_keys(labels), kind="stable")
+        lab_sorted = labels[order]
+        # Siblings differ only in bit 0 of word 0: compare word 0 >> 1
+        # and every higher word verbatim.
+        adjacent = (lab_sorted[1:, 0] >> np.uint64(1)) == (
+            lab_sorted[:-1, 0] >> np.uint64(1)
+        )
+        if labels.shape[1] > 1:
+            adjacent &= (lab_sorted[1:, 1:] == lab_sorted[:-1, 1:]).all(axis=1)
     first = np.nonzero(adjacent)[0]
     return np.stack([order[first], order[first + 1]], axis=1)
 
@@ -174,22 +190,23 @@ def sibling_pair_weights(level: Level, pairs: np.ndarray) -> np.ndarray:
     A swap leaves the pair's internal edge invariant, so its contribution
     must be subtracted from the per-vertex sums; pairs without an internal
     edge get 0.  Works off the level's undirected edge arrays: an edge is
-    internal to a pair iff both endpoint labels share the pair's prefix.
+    internal to a pair iff its endpoints are exactly the pair's two
+    members (representation-agnostic -- no label comparison needed).
     """
     k = pairs.shape[0]
     out = np.zeros(k, dtype=np.float64)
     if k == 0 or level.us.size == 0:
         return out
-    labels = level.labels
-    pu = labels[level.us] >> 1
-    pv = labels[level.vs] >> 1
-    internal = np.nonzero(pu == pv)[0]
+    pair_of = np.full(level.n, -1, dtype=np.int64)
+    local = np.arange(k, dtype=np.int64)
+    pair_of[pairs[:, 0]] = local
+    pair_of[pairs[:, 1]] = local
+    eu = pair_of[level.us]
+    internal = np.nonzero((eu >= 0) & (eu == pair_of[level.vs]))[0]
     if internal.size == 0:
         return out
-    prefixes = labels[pairs[:, 0]] >> 1  # ascending by construction
-    pos = np.searchsorted(prefixes, pu[internal])
     # Levels merge parallel edges, but accumulate defensively anyway.
-    np.add.at(out, pos, level.ws[internal])
+    np.add.at(out, eu[internal], level.ws[internal])
     return out
 
 
@@ -259,19 +276,22 @@ def vertex_lsb_sums(
     """Per-vertex sum of LSB edge contributions ``w * (1 - 2*((l_u^l_t)&1))``.
 
     One gather + one segment reduction over the whole CSR -- this is the
-    O(|E|) inner kernel of the batch swap pass.
+    O(|E|) inner kernel of the batch swap pass.  Only the LSB of each
+    label matters, so both width regimes reduce to the same int64 bit
+    array before any arithmetic.
     """
+    b = label_lsb(labels)
     if get_backend() == "numba":  # pragma: no cover - numba not in CI image
-        return _vertex_lsb_sums_numba(labels, indptr, indices, weights)
+        return _vertex_lsb_sums_numba(b, indptr, indices, weights)
     # The source LSB is constant within a CSR segment, so instead of
     # gathering per-entry source labels:
     #   S[u] = W[u] - 2*T[u]  when b_u == 0
     #   S[u] = 2*T[u] - W[u]  when b_u == 1
     # with W the per-vertex weight sums and T the weight sums over
     # neighbors whose LSB is set.
-    tw = segment_sum(weights * (labels[indices] & 1), indptr)
+    tw = segment_sum(weights * b[indices], indptr)
     wtot = segment_sum(weights, indptr)
-    return np.where((labels & 1) == 1, 2.0 * tw - wtot, wtot - 2.0 * tw)
+    return np.where(b == 1, 2.0 * tw - wtot, wtot - 2.0 * tw)
 
 
 def batch_pair_deltas(
@@ -308,6 +328,7 @@ def pair_delta(
     Kept as the ground truth the batch kernel is tested against, and as
     the single-pair recompute primitive of the KL pass.
     """
+    b = label_lsb(labels)
     delta = 0.0
     for a, other in ((u, v), (v, u)):
         lo, hi = indptr[a], indptr[a + 1]
@@ -319,7 +340,7 @@ def pair_delta(
             wts = wts[keep]
         if nbrs.size == 0:
             continue
-        xor_bits = (labels[nbrs] ^ labels[a]) & 1
+        xor_bits = b[nbrs] ^ b[a]
         delta += float((wts * (1.0 - 2.0 * xor_bits)).sum())
     return sign * delta
 
@@ -373,9 +394,8 @@ def batch_swap_pass(
     for _ in range(max(1, sweeps)):
         # Start-of-sweep gains for every pair in one vectorized pass.
         deltas0 = batch_pair_deltas(labels, pairs, csr, sign, pair_w)
-        c0 = sign * (
-            w_keep * (1.0 - 2.0 * ((labels[src_keep] ^ labels[nbrs_keep]) & 1))
-        )
+        b = label_lsb(labels)
+        c0 = sign * (w_keep * (1.0 - 2.0 * (b[src_keep] ^ b[nbrs_keep])))
         # Solve the sequential-sweep fixpoint by synchronous iteration:
         # the correct prefix of the decision vector grows every step, so
         # at most k iterations -- in practice a handful.

@@ -1,10 +1,16 @@
 """Application-vertex labels ``l_a = l_p . l_e`` (paper section 4).
 
-Packing convention (consistent across the whole package): a label is an
-``int64`` whose *high* ``dim_p`` bits are the processor label of the
-vertex's PE and whose *low* ``dim_e`` bits are the extension ``l_e`` that
-makes labels unique inside each block.  The paper's "last digit" -- the
-one hierarchies cut first -- is bit 0.
+Packing convention (consistent across the whole package): a label's
+*high* ``dim_p`` bits are the processor label of the vertex's PE and its
+*low* ``dim_e`` bits are the extension ``l_e`` that makes labels unique
+inside each block.  The paper's "last digit" -- the one hierarchies cut
+first -- is bit 0.
+
+Labels with ``dim_p + dim_e <= 63`` stay in the narrow packed ``int64``
+representation (byte-identical to the historical code); wider labelings
+-- large fat-trees, any topology past 63 Djokovic classes -- use the
+``(n, W)`` ``uint64`` wide representation of :mod:`repro.utils.bitops`.
+Every accessor here is polymorphic over both.
 
 ``dim_e`` follows Definition 4.1: ``max_vp ceil(log2 |mu^-1(vp)|)``, and
 the per-block extension values ``0 .. size-1`` are assigned in random
@@ -20,7 +26,18 @@ import numpy as np
 from repro.errors import MappingError
 from repro.graphs.graph import Graph
 from repro.partialcube.djokovic import PartialCubeLabeling
-from repro.utils.bitops import MAX_LABEL_BITS, bit_length_for, mask_of_width
+from repro.utils.bitops import (
+    MAX_LABEL_BITS,
+    bit_length_for,
+    label_mask,
+    label_sort_keys,
+    narrow_labels,
+    resize_label_words,
+    shift_left_labels,
+    shift_right_labels,
+    widen_labels,
+    words_for_bits,
+)
 from repro.utils.rng import SeedLike, make_rng
 from repro.utils.validation import as_int_array, check_assignment
 
@@ -32,7 +49,8 @@ class ApplicationLabeling:
     Attributes
     ----------
     labels:
-        packed ``l_a`` per application vertex.
+        packed ``l_a`` per application vertex -- narrow 1-D ``int64`` or
+        wide ``(n, W)`` ``uint64``.
     dim_p / dim_e:
         widths of the processor part and the extension part.
     pe_labels:
@@ -56,25 +74,41 @@ class ApplicationLabeling:
 
     def lp_part(self) -> np.ndarray:
         """Processor-label prefix of every vertex (the ``mu`` encoding)."""
-        return self.labels >> self.dim_e
+        return shift_right_labels(self.labels, self.dim_e)
 
     def le_part(self) -> np.ndarray:
         """Extension suffix of every vertex."""
-        return self.labels & mask_of_width(self.dim_e)
+        return self.labels & label_mask(self.dim_e, self.labels)
 
     def mu(self) -> np.ndarray:
         """Decode the mapping ``mu : V_a -> V_p`` from the labels."""
-        order = np.argsort(self.pe_labels, kind="stable")
-        sorted_lp = self.pe_labels[order]
+        # lp prefixes use dim_p bits; bring them to pe_labels'
+        # representation so the sort keys are directly comparable.
         lp = self.lp_part()
-        pos = np.searchsorted(sorted_lp, lp)
-        if (pos >= sorted_lp.shape[0]).any() or not np.array_equal(sorted_lp[pos], lp):
+        if self.pe_labels.ndim == 1:
+            if lp.ndim == 2:
+                lp = narrow_labels(lp)
+        else:
+            lp = resize_label_words(lp, self.pe_labels.shape[1])
+        pe_keys = label_sort_keys(self.pe_labels)
+        order = np.argsort(pe_keys, kind="stable")
+        sorted_keys = pe_keys[order]
+        lp_keys = label_sort_keys(lp)
+        pos = np.searchsorted(sorted_keys, lp_keys)
+        if (pos >= sorted_keys.shape[0]).any() or not np.array_equal(
+            sorted_keys[pos], lp_keys
+        ):
             raise MappingError("label prefix does not correspond to any PE")
         return order[pos]
 
     def with_labels(self, labels: np.ndarray) -> "ApplicationLabeling":
+        labels = np.asarray(labels)
+        if labels.ndim == 1:
+            labels = labels.astype(np.int64, copy=False)
+        else:
+            labels = labels.astype(np.uint64, copy=False)
         return ApplicationLabeling(
-            labels=np.asarray(labels, dtype=np.int64),
+            labels=labels,
             dim_p=self.dim_p,
             dim_e=self.dim_e,
             pe_labels=self.pe_labels,
@@ -82,7 +116,7 @@ class ApplicationLabeling:
 
     def check_bijective(self) -> None:
         """Labels must be pairwise distinct (paper requirement 3)."""
-        if np.unique(self.labels).shape[0] != self.n:
+        if np.unique(label_sort_keys(self.labels)).shape[0] != self.n:
             raise MappingError("application labels are not unique")
 
 
@@ -101,23 +135,30 @@ def build_application_labeling(
     """Construct ``l_a`` from a mapping (paper section 4).
 
     Steps: transport ``l_p`` through ``mu``; number the vertices of each
-    block ``0 .. size-1`` in random order; concatenate.
+    block ``0 .. size-1`` in random order; concatenate.  Chooses the
+    narrow representation whenever ``dim_p + dim_e <= 63`` (the
+    historical fast path, byte-identical) and the wide multi-word one
+    beyond.
     """
     mu = as_int_array("mu", mu, ga.n)
     check_assignment("mu", mu, pc.n)
     dim_p = pc.dim
     dim_e = dim_extension(mu, pc.n)
-    if dim_p + dim_e > MAX_LABEL_BITS:
-        raise MappingError(
-            f"label width {dim_p}+{dim_e} exceeds {MAX_LABEL_BITS} bits"
-        )
     rng = make_rng(seed)
     le = np.empty(ga.n, dtype=np.int64)
     for pe in range(pc.n):
         members = np.nonzero(mu == pe)[0]
         if members.size:
             le[members] = rng.permutation(members.size)
-    labels = (pc.labels[mu] << dim_e) | le
+    if dim_p + dim_e <= MAX_LABEL_BITS and pc.labels.ndim == 1:
+        labels = (pc.labels[mu] << dim_e) | le
+    else:
+        words = words_for_bits(dim_p + dim_e)
+        base = widen_labels(pc.labels, words)
+        labels = shift_left_labels(base[mu], dim_e)
+        # dim_e < 64 always (block sizes are array sizes), so the
+        # extension lives entirely in word 0.
+        labels[:, 0] |= le.view(np.uint64)
     out = ApplicationLabeling(
         labels=labels, dim_p=dim_p, dim_e=dim_e, pe_labels=pc.labels
     )

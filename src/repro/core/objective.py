@@ -9,6 +9,11 @@ With packed labels, both terms are Hamming sums over disjoint bit masks:
 - ``Div(l_a) = sum_e w(e) * popcount(xor & le_mask)`` -- Eq. (12),
   the diversity of label extensions (same vacuous-restriction argument).
 
+Both width regimes share this shape: narrow labels use plain int masks
+and a single-word popcount, wide labels use ``(W,)`` ``uint64`` mask
+vectors broadcast over the ``(m, W)`` XOR rows with a per-row popcount
+reduction -- still one vectorized pass over the edges either way.
+
 For permuted labels inside a hierarchy, each bit position carries a sign
 (+1 for lp bits, -1 for le bits); :func:`coco_plus_signed` evaluates the
 objective for an arbitrary sign vector, which is what the per-level swap
@@ -20,40 +25,47 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graphs.graph import Graph
-from repro.utils.bitops import bitwise_count, mask_of_width
+from repro.utils.bitops import mask_of_width, popcount_labels, wide_mask
 
 
-def _masks(dim_p: int, dim_e: int) -> tuple[int, int]:
-    return mask_of_width(dim_p) << dim_e, mask_of_width(dim_e)
+def _masks(dim_p: int, dim_e: int, labels: np.ndarray):
+    """(lp_mask, le_mask) in the representation matching ``labels``."""
+    if np.asarray(labels).ndim == 1:
+        return mask_of_width(dim_p) << dim_e, mask_of_width(dim_e)
+    words = labels.shape[1]
+    return (
+        wide_mask(dim_p + dim_e, words) ^ wide_mask(dim_e, words),
+        wide_mask(dim_e, words),
+    )
 
 
 def coco_of_labels(ga: Graph, labels: np.ndarray, dim_p: int, dim_e: int) -> float:
     """Eq. (9): hop-bytes of the mapping encoded in the label prefixes."""
-    lp_mask, _ = _masks(dim_p, dim_e)
+    lp_mask, _ = _masks(dim_p, dim_e, labels)
     us, vs, ws = ga.edge_arrays()
     xor = (labels[us] ^ labels[vs]) & lp_mask
-    return float((ws * bitwise_count(xor)).sum())
+    return float((ws * popcount_labels(xor)).sum())
 
 
 def div_of_labels(ga: Graph, labels: np.ndarray, dim_p: int, dim_e: int) -> float:
     """Eq. (12): weighted Hamming diversity of the label extensions."""
-    _, le_mask = _masks(dim_p, dim_e)
+    _, le_mask = _masks(dim_p, dim_e, labels)
     us, vs, ws = ga.edge_arrays()
     xor = (labels[us] ^ labels[vs]) & le_mask
-    return float((ws * bitwise_count(xor)).sum())
+    return float((ws * popcount_labels(xor)).sum())
 
 
 def coco_plus(ga: Graph, labels: np.ndarray, dim_p: int, dim_e: int) -> float:
     """Eq. (14): ``Coco+ = Coco - Div``."""
-    lp_mask, le_mask = _masks(dim_p, dim_e)
+    lp_mask, le_mask = _masks(dim_p, dim_e, labels)
     us, vs, ws = ga.edge_arrays()
     xor = labels[us] ^ labels[vs]
     return float(
         (
             ws
             * (
-                bitwise_count(xor & lp_mask).astype(np.float64)
-                - bitwise_count(xor & le_mask)
+                popcount_labels(xor & lp_mask).astype(np.float64)
+                - popcount_labels(xor & le_mask)
             )
         ).sum()
     )
@@ -64,17 +76,21 @@ def coco_plus_edges(
     vs: np.ndarray,
     ws: np.ndarray,
     labels: np.ndarray,
-    lp_mask: int,
-    le_mask: int,
+    lp_mask,
+    le_mask,
 ) -> float:
-    """``Coco+`` over explicit edge arrays (used on hierarchy levels)."""
+    """``Coco+`` over explicit edge arrays (used on hierarchy levels).
+
+    ``lp_mask`` / ``le_mask`` are ints for narrow labels and ``(W,)``
+    ``uint64`` vectors for wide ones (see :func:`_masks`).
+    """
     xor = labels[us] ^ labels[vs]
     return float(
         (
             ws
             * (
-                bitwise_count(xor & lp_mask).astype(np.float64)
-                - bitwise_count(xor & le_mask)
+                popcount_labels(xor & lp_mask).astype(np.float64)
+                - popcount_labels(xor & le_mask)
             )
         ).sum()
     )
@@ -91,21 +107,29 @@ def coco_plus_signed(
     permutation bookkeeping.
     """
     signs = np.asarray(signs, dtype=np.int64)
-    pos_mask = 0
-    neg_mask = 0
-    for j, s in enumerate(signs):
-        if s > 0:
-            pos_mask |= 1 << j
-        else:
-            neg_mask |= 1 << j
+    if np.asarray(labels).ndim == 1:
+        pos_mask = 0
+        neg_mask = 0
+        for j, s in enumerate(signs):
+            if s > 0:
+                pos_mask |= 1 << j
+            else:
+                neg_mask |= 1 << j
+    else:
+        words = labels.shape[1]
+        pos_mask = np.zeros(words, dtype=np.uint64)
+        neg_mask = np.zeros(words, dtype=np.uint64)
+        for j, s in enumerate(signs):
+            target = pos_mask if s > 0 else neg_mask
+            target[j // 64] |= np.uint64(1) << np.uint64(j % 64)
     us, vs, ws = ga.edge_arrays()
     xor = labels[us] ^ labels[vs]
     return float(
         (
             ws
             * (
-                bitwise_count(xor & pos_mask).astype(np.float64)
-                - bitwise_count(xor & neg_mask)
+                popcount_labels(xor & pos_mask).astype(np.float64)
+                - popcount_labels(xor & neg_mask)
             )
         ).sum()
     )

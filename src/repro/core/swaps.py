@@ -37,6 +37,7 @@ from repro.core.kernels import (
     sibling_pair_weights,
     sibling_pairs,
 )
+from repro.utils.bitops import label_lsb, swap_label_rows
 from repro.utils.segments import build_csr
 
 __all__ = [
@@ -91,7 +92,7 @@ def swap_pass_reference(level: Level, sign: int, sweeps: int = 1) -> tuple[int, 
             u, v = int(u), int(v)
             delta = _swap_delta(labels, indptr, indices, weights, u, v, sign)
             if delta < 0.0:
-                labels[u], labels[v] = labels[v], labels[u]
+                swap_label_rows(labels, u, v)
                 n_swaps += 1
                 swapped_this_sweep += 1
                 total_delta += delta
@@ -159,7 +160,8 @@ def kl_swap_pass(
         # executes, entry (own=q, dst=j) contributes -2 * c0 to q's gain,
         # with c0 the signed start-of-sweep LSB contribution of its edge.
         own, dst, src, nbr, wt = pair_interactions(pairs, csr, labels.shape[0])
-        c0 = sign * (wt * (1.0 - 2.0 * ((labels[src] ^ labels[nbr]) & 1)))
+        b = label_lsb(labels)
+        c0 = sign * (wt * (1.0 - 2.0 * (b[src] ^ b[nbr])))
         by_dst = np.argsort(dst, kind="stable")
         own_by_dst = own[by_dst]
         c0_by_dst = c0[by_dst]
@@ -178,7 +180,7 @@ def kl_swap_pass(
                 continue
             u, v = int(pairs[pid][0]), int(pairs[pid][1])
             done[pid] = True
-            labels[u], labels[v] = labels[v], labels[u]
+            swap_label_rows(labels, u, v)
             executed.append(pid)
             cum += d
             if cum < best_cum - 1e-12:
@@ -197,7 +199,7 @@ def kl_swap_pass(
         # roll back past the best prefix
         for pid in executed[best_len:]:
             u, v = int(pairs[pid][0]), int(pairs[pid][1])
-            labels[u], labels[v] = labels[v], labels[u]
+            swap_label_rows(labels, u, v)
         kept_swaps += best_len
         kept_delta += best_cum
         if best_len == 0:
@@ -261,7 +263,7 @@ def kl_swap_pass_reference(
                 heapq.heappush(heap, (d_now, pid, d_now))
                 continue
             done[pid] = True
-            labels[u], labels[v] = labels[v], labels[u]
+            swap_label_rows(labels, u, v)
             executed.append(pid)
             cum += d_now
             if cum < best_cum - 1e-12:
@@ -282,7 +284,7 @@ def kl_swap_pass_reference(
         # roll back past the best prefix
         for pid in executed[best_len:]:
             u, v = int(pairs[pid][0]), int(pairs[pid][1])
-            labels[u], labels[v] = labels[v], labels[u]
+            swap_label_rows(labels, u, v)
         kept_swaps += best_len
         kept_delta += best_cum
         if best_len == 0:

@@ -38,7 +38,11 @@ from pathlib import Path
 from repro.api.registry import REGISTRY, SCENARIO, RegistryView
 from repro.errors import ConfigurationError
 from repro.experiments.runner import ExperimentConfig, _validate_config
-from repro.experiments.topologies import PAPER_TOPOLOGIES, WIDENED_TOPOLOGIES
+from repro.experiments.topologies import (
+    PAPER_TOPOLOGIES,
+    WIDE_TOPOLOGIES,
+    WIDENED_TOPOLOGIES,
+)
 
 #: matrix-file key -> ExperimentConfig field (CLI flag spellings)
 _ALIASES = {"reps": "repetitions", "nh": "n_hierarchies"}
@@ -131,8 +135,10 @@ def _register_builtins() -> None:
         Scenario(
             "smoke",
             ExperimentConfig(
+                # fattree4x3 (85 PEs, 84 Djokovic classes) keeps one
+                # wide-label topology in every smoke sweep.
                 instances=("p2p-Gnutella", "PGPgiantcompo"),
-                topologies=("grid4x4", "hq4", "dragonfly4x2"),
+                topologies=("grid4x4", "hq4", "dragonfly4x2", "fattree4x3"),
                 cases=("c2", "c4"),
                 repetitions=1,
                 n_hierarchies=2,
@@ -141,6 +147,22 @@ def _register_builtins() -> None:
                 n_max=192,
             ),
             "minutes-scale end-to-end check (CI, demos)",
+        ),
+        Scenario(
+            "wide",
+            ExperimentConfig(
+                instances=("p2p-Gnutella", "PGPgiantcompo"),
+                topologies=WIDE_TOPOLOGIES,
+                cases=("c2",),
+                repetitions=1,
+                n_hierarchies=2,
+                divisor=256,
+                n_min=1100,
+                n_max=1536,
+                seed=2018,
+            ),
+            "wide-label topologies past the lifted 63-class cap "
+            "(fattree2x7 = 255 PEs / 4-word labels, dragonfly16x6 = 1024 PEs)",
         ),
     ):
         REGISTRY.register(SCENARIO, scenario.name, scenario)

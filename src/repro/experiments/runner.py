@@ -37,12 +37,11 @@ it died, and a finished sweep replays instantly from disk.
 
 from __future__ import annotations
 
-import multiprocessing as mp
-import sys
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.api.topology import Topology
+from repro.api.topology import LABELING_CACHE_ENV, Topology
 from repro.core.config import TimerConfig
 from repro.errors import ConfigurationError
 from repro.experiments.cases import CASES, CaseRun, run_case
@@ -61,6 +60,7 @@ from repro.experiments.store import STORE_SCHEMA, ArtifactStore, cell_key
 from repro.experiments.topologies import PAPER_TOPOLOGIES, topology_names
 from repro.partitioning.kway import partition_kway
 from repro.partitioning.partition import Partition
+from repro.utils.parallel import preferred_mp_context
 from repro.utils.rng import derive_rng, derive_seed
 from repro.utils.stopwatch import Stopwatch
 from repro._version import __version__
@@ -256,17 +256,17 @@ def _validate_config(config: ExperimentConfig) -> None:
 
 
 def _execute(tasks: list, jobs: int) -> list:
-    """Run tasks inline or on a spawn pool; outputs in task order."""
+    """Run tasks inline or on a worker pool; outputs in task order.
+
+    Determinism never depends on the start method -- every seed derives
+    from a cell identity -- so the pool uses the shared policy of
+    :func:`repro.utils.parallel.preferred_mp_context` (fork on Linux so
+    workers share the parent's imports and topology-labeling cache,
+    spawn elsewhere).
+    """
     if jobs <= 1 or len(tasks) <= 1:
         return [_run_task(t) for t in tasks]
-    # Determinism never depends on the start method -- every seed derives
-    # from a cell identity -- so use "fork" on Linux: workers share the
-    # parent's imports and topology-labeling cache, and it works when the
-    # parent has no importable __main__ (REPL, stdin).  Everywhere else
-    # (macOS forks crash under Accelerate/ObjC, hence CPython's own
-    # default) fall back to "spawn".
-    use_fork = sys.platform.startswith("linux") and "fork" in mp.get_all_start_methods()
-    ctx = mp.get_context("fork" if use_fork else "spawn")
+    ctx = preferred_mp_context()
     with ctx.Pool(processes=min(jobs, len(tasks))) as pool:
         return pool.map(_run_task, tasks, chunksize=1)
 
@@ -296,7 +296,29 @@ def run_experiment(
         raise ConfigurationError("resume=True requires an artifact store")
     if store is not None and not isinstance(store, ArtifactStore):
         store = ArtifactStore(store)
+    # Persist topology labelings next to the cells so worker processes
+    # (and later sweeps against the same store) load them from disk
+    # instead of recomputing per process.  The env var crosses both fork
+    # and spawn boundaries; an explicit operator setting wins, and the
+    # default is scoped to this sweep so one store's cache never bleeds
+    # into the next sweep (or the embedding process).
+    cache_env_added = False
+    if store is not None and not os.environ.get(LABELING_CACHE_ENV):
+        os.environ[LABELING_CACHE_ENV] = str(store.root / "labelings")
+        cache_env_added = True
+    try:
+        return _run_experiment(config, jobs, store, resume)
+    finally:
+        if cache_env_added:
+            os.environ.pop(LABELING_CACHE_ENV, None)
 
+
+def _run_experiment(
+    config: ExperimentConfig,
+    jobs: int,
+    store: ArtifactStore | None,
+    resume: bool,
+) -> ExperimentResult:
     instances = config.resolved_instances()
     reps = range(config.repetitions)
     grid = [(t, c) for t in config.topologies for c in config.cases]

@@ -35,14 +35,27 @@ PAPER_TOPOLOGIES: tuple[str, ...] = (
 )
 
 #: Widened scenario set beyond the paper's grid/torus/hypercube matrix:
-#: a fat-tree (largest complete binary switch tree under the 63-class
-#: packed-label limit), a partial-cube dragonfly (8 groups of 32-router
-#: hypercubes on a global ring, 256 PEs) and an anisotropic 3-D torus
-#: (256 PEs).  See :mod:`repro.graphs.generators.interconnects`.
+#: a fat-tree (largest complete binary switch tree under the historical
+#: 63-class packed-label limit), a partial-cube dragonfly (8 groups of
+#: 32-router hypercubes on a global ring, 256 PEs) and an anisotropic
+#: 3-D torus (256 PEs).  See :mod:`repro.graphs.generators.interconnects`.
 WIDENED_TOPOLOGIES: tuple[str, ...] = (
     "fattree2x5",
     "dragonfly8x5",
     "torus8x8x4",
+)
+
+#: Wide-label scenario set (ISSUE 4): topologies that only exist because
+#: the 63-class packed-label cap is gone, plus the large paper torus for
+#: contrast.  ``fattree2x7`` is the headline instance -- 255 PEs, 254
+#: Djokovic classes, 4-word labels; ``fattree4x3`` (85 PEs, 84 classes)
+#: is the cheap 2-word variant; ``dragonfly16x6`` scales the dragonfly
+#: to 1024 PEs (narrow dim 14, included for the PE-count axis).
+WIDE_TOPOLOGIES: tuple[str, ...] = (
+    "fattree2x7",
+    "fattree4x3",
+    "dragonfly16x6",
+    "torus16x16",
 )
 
 #: The built-in builders, registered below into the unified registry
@@ -60,6 +73,11 @@ _BUILTIN_BUILDERS: dict[str, Callable[[], Graph]] = {
     "fattree4x2": lambda: gen.fat_tree(4, 2),
     "dragonfly8x5": lambda: gen.dragonfly(8, 5),
     "torus8x8x4": lambda: gen.torus(8, 8, 4),
+    # wide-label set (ISSUE 4): beyond the lifted 63-class cap
+    "fattree2x7": lambda: gen.fat_tree(2, 7),
+    "fattree4x3": lambda: gen.fat_tree(4, 3),
+    "fattree2x6": lambda: gen.fat_tree(2, 6),
+    "dragonfly16x6": lambda: gen.dragonfly(16, 6),
     # small variants for tests, docs and quick examples
     "dragonfly4x2": lambda: gen.dragonfly(4, 2),
     "grid4x4": lambda: gen.grid(4, 4),

@@ -6,10 +6,12 @@ partial-cube abstractions of two staple HPC interconnects:
 
 - :func:`fat_tree` -- the complete ``arity``-ary switch tree underlying a
   fat-tree.  Every tree is a partial cube; its isometric dimension is
-  ``n - 1`` (one Djokovic class per edge), so packed labelings cap usable
-  fat-trees at 64 vertices (:data:`repro.utils.bitops.MAX_LABEL_BITS`).
-  Link "fatness" (capacity growing toward the root) is not modeled --
-  TIMER's objective only sees hop distances.
+  ``n - 1`` (one Djokovic class per edge).  With the wide multi-word
+  label representation there is no size cap anymore -- a 255-switch
+  ``fat_tree(2, 7)`` labels into 4-word bitvectors just like a 63-switch
+  tree labels into one ``int64``.  Link "fatness" (capacity growing
+  toward the root) is not modeled -- TIMER's objective only sees hop
+  distances.
 - :func:`dragonfly` -- groups of tightly coupled routers joined by a
   global ring: the Cartesian product ``C_g x Q_d`` of an even cycle over
   the groups with a ``d``-dimensional hypercube inside each group.  A
@@ -27,10 +29,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import ConfigurationError
 from repro.graphs.builder import from_arrays
 from repro.graphs.graph import Graph
-from repro.utils.bitops import MAX_LABEL_BITS
 
 
 def fat_tree(
@@ -46,28 +46,18 @@ def fat_tree(
     numbered level by level, so node ``v``'s children are
     ``arity * v + 1 .. arity * v + arity``.
 
-    A tree's isometric dimension equals its edge count, so packed int64
-    labelings cap usable fat-trees at ``MAX_LABEL_BITS + 1 = 64``
-    vertices (PEs).  With ``check_labelable`` (the default) a larger tree
-    raises :class:`~repro.errors.ConfigurationError` *here*, at
-    construction -- not minutes later as bit overflow inside the labeling
-    machinery.  Pass ``check_labelable=False`` to build the graph anyway
-    (e.g. for :func:`repro.partialcube.djokovic.djokovic_classes`, which
-    handles arbitrary class counts).
+    A tree's isometric dimension equals its edge count; dimensions beyond
+    63 now label into the wide multi-word representation, so fat-trees of
+    any size build and label.  ``check_labelable`` is kept for backward
+    compatibility with the era of the 64-PE packed-label cap and is
+    ignored -- every fat-tree is labelable.
     """
+    del check_labelable  # historical cap escape hatch; the cap is gone
     if arity < 2:
         raise ValueError(f"fat-tree arity must be >= 2, got {arity}")
     if height < 0:
         raise ValueError(f"fat-tree height must be >= 0, got {height}")
     n = (arity ** (height + 1) - 1) // (arity - 1)
-    if check_labelable and n - 1 > MAX_LABEL_BITS:
-        raise ConfigurationError(
-            f"fat_tree({arity}, {height}) has {n} vertices and therefore "
-            f"{n - 1} Djokovic classes, beyond the {MAX_LABEL_BITS}-class "
-            f"packed-label limit (fat-trees are capped at "
-            f"{MAX_LABEL_BITS + 1} PEs); pass check_labelable=False for "
-            f"unlabeled use"
-        )
     kids = np.arange(1, n, dtype=np.int64)
     parents = (kids - 1) // arity
     return from_arrays(n, parents, kids, name=name or f"fattree{arity}x{height}")

@@ -15,11 +15,15 @@ Implements the paper's §3 procedure:
    cheap at processor-graph scale and makes recognition sound rather than
    merely heuristic.
 
-Labels are packed into ``int64``: Djokovic class ``j`` occupies bit ``j``.
-The packed convention supports graphs with at most 63 classes, which
-covers every topology in the paper (the 16x16 torus is the largest with
-32).  :func:`djokovic_classes` also returns the raw class structure for
-graphs beyond the packing limit (e.g. large trees).
+Labels are packed with Djokovic class ``j`` at bit ``j``.  Up to 63
+classes (every topology in the paper; the 16x16 torus is the largest
+with 32) they stay in a single ``int64`` word -- the original narrow
+representation, byte-identical to the pre-wide code.  Beyond 63 classes
+(trees past 64 vertices, large fat-trees) labels switch to the wide
+``(n, W)`` ``uint64`` representation of :mod:`repro.utils.bitops`, so
+recognition, labeling and verification now work at any isometric
+dimension.  :func:`djokovic_classes` still exposes the raw class
+structure directly.
 """
 
 from __future__ import annotations
@@ -31,7 +35,14 @@ import numpy as np
 from repro.errors import NotPartialCubeError
 from repro.graphs.algorithms import all_pairs_distances, bipartition_colors, is_connected
 from repro.graphs.graph import Graph
-from repro.utils.bitops import MAX_LABEL_BITS, bitwise_count
+from repro.utils.bitops import (
+    MAX_LABEL_BITS,
+    bitwise_count,
+    get_label_bit,
+    pack_bit_matrix,
+    pairwise_hamming,
+    unpack_bit_matrix,
+)
 
 
 @dataclass(frozen=True)
@@ -41,8 +52,9 @@ class PartialCubeLabeling:
     Attributes
     ----------
     labels:
-        ``int64`` array, one packed bitvector per vertex; bit ``j`` is the
-    side of Djokovic class ``j``.
+        one packed bitvector per vertex; bit ``j`` is the side of
+        Djokovic class ``j``.  Narrow ``int64`` array for ``dim <= 63``,
+        wide ``(n, W)`` ``uint64`` array beyond.
     dim:
         number of Djokovic classes (= isometric dimension of the graph).
     cut_edges:
@@ -58,16 +70,20 @@ class PartialCubeLabeling:
     def n(self) -> int:
         return int(self.labels.shape[0])
 
+    @property
+    def words(self) -> int:
+        """Words per label (1 on the narrow fast path)."""
+        return int(self.labels.shape[1]) if self.labels.ndim == 2 else 1
+
     def side(self, j: int) -> np.ndarray:
         """Boolean array: which vertices have bit ``j`` set."""
         if not (0 <= j < self.dim):
             raise IndexError(f"class {j} out of range [0, {self.dim})")
-        return ((self.labels >> j) & 1).astype(bool)
+        return get_label_bit(self.labels, j).astype(bool)
 
     def as_bit_matrix(self) -> np.ndarray:
         """``(n, dim)`` 0/1 matrix; column ``j`` = class ``j``."""
-        shifts = np.arange(self.dim, dtype=np.int64)
-        return ((self.labels[:, None] >> shifts[None, :]) & 1).astype(np.int8)
+        return unpack_bit_matrix(self.labels, self.dim)
 
 
 def djokovic_classes(
@@ -245,41 +261,28 @@ def partial_cube_labeling(g: Graph, verify: bool = True) -> PartialCubeLabeling:
         partition test is the paper's criterion; the verification pass
         turns silent miscomputations into loud errors at negligible cost
         for ``n <= ~2000``.
+
+    Labels come back narrow (packed ``int64``) for ``dim <= 63`` --
+    byte-identical to the historical representation -- and wide
+    (``(n, W)`` ``uint64``) beyond, so any partial cube labels now,
+    including trees with hundreds of vertices.
     """
     if g.n == 0:
         raise NotPartialCubeError("empty graph has no labeling", reason="empty")
-    # Early cap check: a connected graph with m == n - 1 is a tree, and
-    # every tree edge is its own Djokovic class, so the isometric
-    # dimension is m.  Failing *before* the O(n * m) all-pairs BFS turns
-    # an expensive late surprise (e.g. a 127-switch fat-tree) into an
-    # instant, explicit error instead of a silent path toward packed-bit
-    # overflow.
-    if g.m == g.n - 1 and g.m > MAX_LABEL_BITS and is_connected(g):
-        raise NotPartialCubeError(
-            f"tree with {g.m} edges has isometric dimension {g.m}, beyond "
-            f"the packed-label limit of {MAX_LABEL_BITS} classes (labels "
-            f"are packed into int64); trees are capped at "
-            f"{MAX_LABEL_BITS + 1} vertices -- use djokovic_classes() for "
-            f"the raw class structure",
-            reason="dimension-too-large",
-        )
     distances = all_pairs_distances(g)
     edge_class, classes = djokovic_classes(g, distances)
     dim = len(classes)
-    if dim > MAX_LABEL_BITS:
-        raise NotPartialCubeError(
-            f"isometric dimension {dim} exceeds packed-label limit "
-            f"{MAX_LABEL_BITS}; use djokovic_classes() directly",
-            reason="dimension-too-large",
-        )
     us, vs, _ = g.edge_arrays()
     if dim:
         # All side tests d(x, u) vs d(y, u) batched over vertices x classes.
         xs = np.fromiter((x for x, _ in classes), dtype=np.int64, count=dim)
         ys = np.fromiter((y for _, y in classes), dtype=np.int64, count=dim)
         on_y_side = distances[ys] < distances[xs]  # (dim, n)
-        shifts = np.int64(1) << np.arange(dim, dtype=np.int64)
-        labels = (on_y_side.astype(np.int64) * shifts[:, None]).sum(axis=0)
+        if dim <= MAX_LABEL_BITS:
+            shifts = np.int64(1) << np.arange(dim, dtype=np.int64)
+            labels = (on_y_side.astype(np.int64) * shifts[:, None]).sum(axis=0)
+        else:
+            labels = pack_bit_matrix(on_y_side.T)
         by_class = np.argsort(edge_class, kind="stable")
         splits = np.searchsorted(edge_class[by_class], np.arange(1, dim))
         cut_edges = tuple(
@@ -291,8 +294,10 @@ def partial_cube_labeling(g: Graph, verify: bool = True) -> PartialCubeLabeling:
         cut_edges = ()
     result = PartialCubeLabeling(labels=labels, dim=dim, cut_edges=cut_edges)
     if verify:
-        xor = labels[:, None] ^ labels[None, :]
-        ham = bitwise_count(xor)
+        if labels.ndim == 1:
+            ham = bitwise_count(labels[:, None] ^ labels[None, :])
+        else:
+            ham = pairwise_hamming(labels)
         if not np.array_equal(ham, distances):
             raise NotPartialCubeError(
                 "labeling is not isometric: Hamming distance disagrees with "
@@ -303,7 +308,7 @@ def partial_cube_labeling(g: Graph, verify: bool = True) -> PartialCubeLabeling:
 
 
 def is_partial_cube(g: Graph) -> bool:
-    """True iff ``g`` is a (connected) partial cube with <= 63 classes."""
+    """True iff ``g`` is a (connected) partial cube."""
     try:
         partial_cube_labeling(g)
         return True

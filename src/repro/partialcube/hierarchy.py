@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.utils.bitops import MAX_LABEL_BITS, get_label_bit
 from repro.utils.rng import SeedLike, make_rng
 
 
@@ -32,9 +33,15 @@ class LabelHierarchy:
     """A chain of partitions of ``range(n)`` induced by label prefixes.
 
     ``group_ids[i]`` (for ``i`` in ``1..dim``) is an ``int64`` array giving
-    each vertex the integer formed by the first ``i`` permuted label
-    entries; equal value = same part of partition ``P_i``.  ``group_ids[0]``
-    is all zeros (the single root part).
+    each vertex an id for the first ``i`` permuted label entries; equal
+    value = same part of partition ``P_i``, and sorting by value sorts by
+    prefix.  ``group_ids[0]`` is all zeros (the single root part).
+
+    While ``i <= 63`` the id *is* the integer prefix itself (the
+    historical convention, which :meth:`parent_of_part` relies on); for
+    deeper levels -- possible now that labels may exceed 63 bits -- the
+    ids switch to order-preserving dense ranks, since the prefixes no
+    longer fit an int64.
     """
 
     dim: int
@@ -58,9 +65,19 @@ class LabelHierarchy:
         return int(np.unique(self.group_ids[i]).shape[0])
 
     def parent_of_part(self, i: int, prefix: int) -> int:
-        """Prefix of the parent part at level ``i - 1``."""
+        """Prefix of the parent part at level ``i - 1``.
+
+        Only meaningful while group ids are literal prefixes
+        (``i - 1 <= 63``); beyond that depth ids are dense ranks and the
+        parent relation lives in the contraction machinery instead.
+        """
         if i < 1:
             raise IndexError("level 0 is the root")
+        if i > MAX_LABEL_BITS:
+            raise IndexError(
+                f"level {i} group ids are dense ranks, not prefixes; "
+                f"parent_of_part only applies up to level {MAX_LABEL_BITS}"
+            )
         return prefix >> 1
 
 
@@ -72,7 +89,8 @@ def hierarchy_from_permutation(
     Parameters
     ----------
     labels:
-        packed ``int64`` labels (bit ``j`` = label entry for class ``j``).
+        packed labels, narrow 1-D ``int64`` or wide ``(n, W)`` ``uint64``
+        (bit ``j`` = label entry for class ``j``).
     dim:
         label width in bits.
     perm:
@@ -81,7 +99,9 @@ def hierarchy_from_permutation(
         *first* (coarsest / most significant) entry.  ``None`` draws a
         uniformly random permutation from ``seed``.
     """
-    labels = np.asarray(labels, dtype=np.int64)
+    labels = np.asarray(labels)
+    if labels.ndim == 1:
+        labels = labels.astype(np.int64, copy=False)
     if perm is None:
         perm = make_rng(seed).permutation(dim)
     perm = np.asarray(perm, dtype=np.int64)
@@ -89,8 +109,23 @@ def hierarchy_from_permutation(
         raise ValueError(f"perm must be a permutation of range({dim})")
     group_ids = [np.zeros(labels.shape[0], dtype=np.int64)]
     for i in range(dim):
-        bit = (labels >> int(perm[i])) & 1
-        group_ids.append((group_ids[-1] << 1) | bit)
+        bit = get_label_bit(labels, int(perm[i]))
+        if i < MAX_LABEL_BITS:
+            # Historical convention: the id is the prefix value itself
+            # (fits int64 while the prefix has at most 63 bits).
+            group_ids.append((group_ids[-1] << 1) | bit)
+        else:
+            # Prefixes no longer fit an int64; keep order-preserving
+            # dense ranks instead (equal rank <=> equal prefix, and rank
+            # order == prefix order because the parent ids are already
+            # sorted the same way).  Densify the last value-based level
+            # once before extending it.
+            prev = group_ids[-1]
+            if i == MAX_LABEL_BITS:
+                _, prev = np.unique(prev, return_inverse=True)
+            key = prev * 2 + bit
+            _, inverse = np.unique(key, return_inverse=True)
+            group_ids.append(inverse.astype(np.int64))
     return LabelHierarchy(dim=dim, group_ids=tuple(group_ids))
 
 

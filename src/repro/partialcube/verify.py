@@ -11,7 +11,7 @@ import numpy as np
 
 from repro.graphs.algorithms import all_pairs_distances
 from repro.graphs.graph import Graph
-from repro.utils.bitops import bitwise_count
+from repro.utils.bitops import pairwise_hamming
 
 
 def labeling_distance_error(g: Graph, labels: np.ndarray) -> int:
@@ -19,13 +19,18 @@ def labeling_distance_error(g: Graph, labels: np.ndarray) -> int:
 
     0 means ``labels`` is a valid partial-cube labeling of ``g`` (provided
     the graph is connected; disconnected pairs have distance -1 and always
-    count as errors).
+    count as errors).  Accepts both label representations: narrow 1-D
+    ``int64`` and wide ``(n, W)`` ``uint64``.
     """
-    labels = np.asarray(labels, dtype=np.int64)
-    if labels.shape != (g.n,):
-        raise ValueError(f"labels must have shape ({g.n},), got {labels.shape}")
+    labels = np.asarray(labels)
+    if labels.ndim == 1:
+        labels = labels.astype(np.int64, copy=False)
+    if labels.shape[0] != g.n or labels.ndim > 2:
+        raise ValueError(
+            f"labels must have shape ({g.n},) or ({g.n}, W), got {labels.shape}"
+        )
     dist = all_pairs_distances(g)
-    ham = bitwise_count(labels[:, None] ^ labels[None, :])
+    ham = pairwise_hamming(labels)
     return int((ham != dist).sum()) // 2 + int(np.diag(ham != dist).sum())
 
 

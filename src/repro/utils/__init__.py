@@ -8,6 +8,14 @@ from repro.utils.bitops import (
     mask_of_width,
     permute_bits,
     unpermute_bits,
+    words_for_bits,
+    is_wide,
+    popcount_labels,
+    hamming_labels,
+    pairwise_hamming,
+    label_sort_keys,
+    pack_bit_matrix,
+    unpack_bit_matrix,
 )
 from repro.utils.stopwatch import Stopwatch
 
@@ -23,5 +31,13 @@ __all__ = [
     "mask_of_width",
     "permute_bits",
     "unpermute_bits",
+    "words_for_bits",
+    "is_wide",
+    "popcount_labels",
+    "hamming_labels",
+    "pairwise_hamming",
+    "label_sort_keys",
+    "pack_bit_matrix",
+    "unpack_bit_matrix",
     "Stopwatch",
 ]

@@ -1,0 +1,162 @@
+"""``Pipeline.run_batch(jobs=N)``: parallel, byte-identical batches."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.api.pipeline import Pipeline, PipelineConfig
+from repro.core.config import TimerConfig
+from repro.errors import ConfigurationError
+from repro.graphs import generators as gen
+from repro.utils.rng import make_rng
+
+
+def _pipe():
+    return Pipeline(
+        "grid4x4", PipelineConfig(timer=TimerConfig(n_hierarchies=2))
+    )
+
+
+def _graphs(k=4):
+    return [gen.barabasi_albert(64 + 8 * i, 3, seed=i) for i in range(k)]
+
+
+class TestJobsParity:
+    def test_jobs_byte_identical_to_inline(self):
+        graphs = _graphs()
+        serial = _pipe().run_batch(graphs, seed=17)
+        parallel = _pipe().run_batch(graphs, seed=17, jobs=3)
+        assert len(serial) == len(parallel) == len(graphs)
+        for a, b in zip(serial, parallel):
+            assert np.array_equal(a.mu_final, b.mu_final)
+            assert np.array_equal(a.mu_initial, b.mu_initial)
+            assert a.metrics == b.metrics
+            assert a.identity_hash == b.identity_hash
+
+    def test_explicit_seeds_parity(self):
+        graphs = _graphs(3)
+        seeds = [11, 22, 33]
+        serial = _pipe().run_batch(graphs, seeds=seeds)
+        parallel = _pipe().run_batch(graphs, seeds=seeds, jobs=2)
+        for a, b in zip(serial, parallel):
+            assert np.array_equal(a.mu_final, b.mu_final)
+
+    def test_results_in_input_order(self):
+        graphs = _graphs(5)
+        out = _pipe().run_batch(graphs, seed=3, jobs=4)
+        assert [r.graph for r in out] == [g.name for g in graphs]
+
+    def test_generator_seeds_rejected_for_jobs(self):
+        graphs = _graphs(2)
+        with pytest.raises(ConfigurationError):
+            _pipe().run_batch(graphs, seeds=[make_rng(1), make_rng(2)], jobs=2)
+        # ...but still fine inline
+        out = _pipe().run_batch(graphs, seeds=[make_rng(1), make_rng(2)])
+        assert len(out) == 2
+
+
+class TestLabelingComputedOnce:
+    def test_parent_warms_labeling_before_forking(self, monkeypatch):
+        # The parent must compute the labeling exactly once; workers
+        # inherit it instead of recomputing.
+        pipe = _pipe()
+        pipe.topology.labeling  # warm
+        import repro.api.topology as topo_mod
+
+        def bomb(_g):
+            raise AssertionError("labeling recomputed in run_batch parent")
+
+        monkeypatch.setattr(topo_mod, "partial_cube_labeling", bomb)
+        out = pipe.run_batch(_graphs(2), seed=5, jobs=2)
+        assert len(out) == 2
+
+
+class TestPicklability:
+    def test_pipeline_pickles_without_registry(self):
+        # Spawn-start pools pickle the payload; the Registry (with its
+        # lambda topology builders) must never enter the pickle stream.
+        pipe = _pipe()
+        clone = pickle.loads(pickle.dumps(pipe))
+        ga = _graphs(1)[0]
+        a = pipe.run(ga, seed=7)
+        b = clone.run(ga, seed=7)
+        assert np.array_equal(a.mu_final, b.mu_final)
+
+    def test_wide_topology_batch(self):
+        # Wide labels (fattree2x6: 127 PEs, 2-word labels) cross the
+        # process boundary intact.
+        graphs = [gen.barabasi_albert(260, 3, seed=s) for s in (0, 1)]
+        pipe = Pipeline(
+            "fattree2x6", PipelineConfig(timer=TimerConfig(n_hierarchies=1))
+        )
+        serial = pipe.run_batch(graphs, seed=4)
+        parallel = Pipeline(
+            "fattree2x6", PipelineConfig(timer=TimerConfig(n_hierarchies=1))
+        ).run_batch(graphs, seed=4, jobs=2)
+        for a, b in zip(serial, parallel):
+            assert np.array_equal(a.mu_final, b.mu_final)
+            assert a.metrics == b.metrics
+
+
+class TestCustomRegistryAcrossWorkers:
+    def test_custom_registry_survives_pickling(self):
+        # A pipeline bound to a non-default registry must resolve its
+        # stages identically in workers, not fall back to REGISTRY.
+        from repro.api.registry import PARTITION, Registry
+        from repro.api.stages import KwayPartition
+        from repro.partitioning.partition import Partition
+
+        reg = Registry()
+        for kind, name, value in [
+            (PARTITION, "mypart", KwayPartition(name="mypart")),
+        ]:
+            reg.register(kind, name, value)
+        pipe = Pipeline(
+            "grid4x4",
+            PipelineConfig(
+                partition="mypart",
+                initial_mapping="none",
+                enhance="none",
+            ),
+            mapping_stage=lambda part, gp, *, seed: part.assignment,
+            registry=reg,
+        )
+        # the lambda mapping stage is unpicklable -> loud failure, not a
+        # silent wrong-registry rebuild
+        with pytest.raises(Exception):
+            pickle.dumps(pipe)
+        pipe2 = Pipeline(
+            "grid4x4",
+            PipelineConfig(partition="mypart", initial_mapping="none",
+                           enhance="none"),
+            mapping_stage=_assignment_mapping,
+            registry=reg,
+        )
+        clone = pickle.loads(pickle.dumps(pipe2))
+        ga = _graphs(1)[0]
+        assert np.array_equal(
+            pipe2.run(ga, seed=3).mu_final, clone.run(ga, seed=3).mu_final
+        )
+
+
+def _assignment_mapping(part, gp, *, seed):
+    return part.assignment
+
+
+class TestHookCachesWarmed:
+    def test_hooks_warm_both_caches_before_fork(self, monkeypatch):
+        # With verify hooks configured, labeling AND distances must be
+        # computed once in the parent, not once per worker.
+        pipe = Pipeline(
+            "grid4x4",
+            PipelineConfig(
+                enhance="none",
+                post_verify=("labeling-isometric",),
+                timer=TimerConfig(n_hierarchies=1),
+            ),
+        )
+        out = pipe.run_batch(_graphs(2), seed=1, jobs=2)
+        assert len(out) == 2
+        assert pipe.topology._labeling is not None
+        assert pipe.topology._distances is not None

@@ -105,7 +105,19 @@ class TestConfigFromMapping:
 
 class TestBuiltins:
     def test_names(self):
-        assert set(BUILTIN_SCENARIOS) == {"paper", "widened", "smoke"}
+        assert set(BUILTIN_SCENARIOS) == {"paper", "widened", "smoke", "wide"}
+
+    def test_wide_scenario_covers_wide_topologies(self):
+        from repro.experiments.topologies import WIDE_TOPOLOGIES
+
+        wide = BUILTIN_SCENARIOS["wide"].config
+        assert wide.topologies == WIDE_TOPOLOGIES
+        assert "fattree2x7" in wide.topologies
+        # instances must be at least as large as the biggest PE count
+        assert wide.n_min >= 1024
+
+    def test_smoke_includes_a_wide_label_topology(self):
+        assert "fattree4x3" in BUILTIN_SCENARIOS["smoke"].config.topologies
 
     def test_paper_matches_defaults(self):
         assert BUILTIN_SCENARIOS["paper"].config == ExperimentConfig()

@@ -12,6 +12,7 @@ from repro.experiments.instances import (
 )
 from repro.experiments.topologies import (
     PAPER_TOPOLOGIES,
+    WIDE_TOPOLOGIES,
     WIDENED_TOPOLOGIES,
     make_topology,
     topology_names,
@@ -51,6 +52,31 @@ class TestTopologies:
         assert gp.n == n
         assert pc.dim == dim
         assert verify_labeling(gp, pc.labels)
+
+    def test_wide_set_registered(self):
+        assert WIDE_TOPOLOGIES == (
+            "fattree2x7",
+            "fattree4x3",
+            "dragonfly16x6",
+            "torus16x16",
+        )
+        assert set(WIDE_TOPOLOGIES) <= set(topology_names())
+
+    @pytest.mark.parametrize(
+        "name,n,dim",
+        [
+            ("fattree2x7", 255, 254),  # 4-word labels
+            ("fattree4x3", 85, 84),  # 2-word labels
+            ("fattree2x6", 127, 126),
+            ("dragonfly16x6", 1024, 14),  # narrow but 1024 PEs
+        ],
+    )
+    def test_wide_topologies_labeled(self, name, n, dim):
+        gp, pc = make_topology(name)
+        assert gp.n == n
+        assert pc.dim == dim
+        assert verify_labeling(gp, pc.labels)
+        assert (pc.labels.ndim == 2) == (dim > 63)
 
     def test_paper_pe_counts(self):
         for name, n in [("grid16x16", 256), ("grid8x8x8", 512), ("hq8", 256)]:

@@ -165,3 +165,78 @@ class TestPipelineByteEquivalence:
         )
         expected = "\n".join(str(int(v)) for v in res.mu_after) + "\n"
         assert out.read_text() == expected
+
+
+class TestVerifyReportFlags:
+    def test_map_with_hooks(self, graph_file, tmp_path, capsys):
+        out = tmp_path / "mu.txt"
+        assert main(
+            ["map", graph_file, "grid4x4", "--verify", "labeling-isometric",
+             "--report", "summary", "--report", "quality", "-o", str(out)]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "[report summary]" in err and "[report quality]" in err
+
+    def test_enhance_with_hooks(self, graph_file, tmp_path, capsys):
+        mu_file = tmp_path / "mu.txt"
+        out = tmp_path / "enh.txt"
+        main(["map", graph_file, "grid4x4", "-o", str(mu_file)])
+        assert main(
+            ["enhance", graph_file, "grid4x4", str(mu_file), "--nh", "1",
+             "--verify", "labeling-isometric", "--report", "summary",
+             "-o", str(out)]
+        ) == 0
+        assert "[report summary]" in capsys.readouterr().err
+
+    def test_unknown_verify_lists_known_names(self, graph_file, capsys):
+        assert main(["map", graph_file, "grid4x4", "--verify", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown verify 'nope'" in err
+        assert "labeling-isometric" in err  # the known names are listed
+
+    def test_unknown_report_lists_known_names(self, graph_file, capsys):
+        assert main(["map", graph_file, "grid4x4", "--report", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown report 'nope'" in err and "summary" in err
+
+    def test_hooks_do_not_change_output_bytes(self, graph_file, tmp_path):
+        plain = tmp_path / "plain.txt"
+        hooked = tmp_path / "hooked.txt"
+        main(["map", graph_file, "grid4x4", "--seed", "3", "-o", str(plain)])
+        main(
+            ["map", graph_file, "grid4x4", "--seed", "3", "-o", str(hooked),
+             "--verify", "labeling-isometric", "--report", "quality"]
+        )
+        assert plain.read_text() == hooked.read_text()
+
+
+class TestWideTopologyEndToEnd:
+    """fattree2x7 (255 PEs, 254 classes) through the full CLI pipeline."""
+
+    @pytest.fixture
+    def big_graph_file(self, tmp_path):
+        g = gen.barabasi_albert(520, 3, seed=2)
+        path = tmp_path / "big.graph"
+        write_metis(g, path)
+        return str(path)
+
+    def test_map_and_enhance_fattree2x7(self, big_graph_file, tmp_path, capsys):
+        mu_file = tmp_path / "mu.txt"
+        out = tmp_path / "enh.txt"
+        assert main(
+            ["map", big_graph_file, "fattree2x7", "--seed", "1",
+             "--verify", "labeling-isometric", "-o", str(mu_file)]
+        ) == 0
+        values = [int(x) for x in mu_file.read_text().split()]
+        assert len(values) == 520 and max(values) < 255
+        assert main(
+            ["enhance", big_graph_file, "fattree2x7", str(mu_file),
+             "--nh", "2", "--seed", "1", "-o", str(out)]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "accepted" in err
+        enhanced = [int(x) for x in out.read_text().split()]
+        assert np.array_equal(
+            np.bincount(values, minlength=255),
+            np.bincount(enhanced, minlength=255),
+        )  # TIMER preserves per-PE block sizes exactly

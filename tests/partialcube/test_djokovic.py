@@ -98,11 +98,15 @@ class TestRecognitionNegative:
         with pytest.raises(NotPartialCubeError):
             partial_cube_labeling(from_edges(0, []))
 
-    def test_dimension_limit(self):
-        # A 70-vertex star has dimension 70 > 63 packed bits.
-        with pytest.raises(NotPartialCubeError) as exc:
-            partial_cube_labeling(gen.star(70))
-        assert exc.value.reason == "dimension-too-large"
+    def test_dimension_beyond_63_goes_wide(self):
+        # A 70-vertex star has dimension 70 > 63 packed bits; it used to
+        # raise "dimension-too-large", now it labels into the wide
+        # (n, 2)-word representation.
+        g = gen.star(70)
+        pc = partial_cube_labeling(g)
+        assert pc.dim == g.m > 63
+        assert pc.labels.ndim == 2 and pc.labels.shape == (g.n, 2)
+        assert pc.labels.dtype == np.uint64
 
     def test_is_partial_cube_wrapper(self):
         assert is_partial_cube(gen.grid(3, 3))
