@@ -229,3 +229,41 @@ def test_bench_wide_permute_labels(benchmark, wide_workload):
     perm = rng.permutation(app.dim)
     out = benchmark(permute_bits, app.labels, perm)
     assert out.shape == app.labels.shape
+
+
+# ----------------------------------------------------------------------
+# Wide-label argsort: radix-style lexsort path vs generic void keys
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def two_word_labels():
+    """BA n=2000 labels on fattree2x5 (dim 62 + 5 -> W=2, the radix regime)."""
+    ga = gen.barabasi_albert(2000, 4, seed=1)
+    gp = gen.fat_tree(2, 5)
+    pc = partial_cube_labeling(gp)
+    mu = (np.arange(ga.n) % gp.n).astype(np.int64)
+    np.random.default_rng(2).shuffle(mu)
+    app = build_application_labeling(ga, pc, mu, seed=3)
+    assert app.labels.ndim == 2 and app.labels.shape[1] == 2
+    return app.labels
+
+
+def test_bench_wide_argsort_radix(benchmark, two_word_labels):
+    """The production path: lexsort over word columns above the threshold."""
+    from repro.utils.bitops import RADIX_SORT_THRESHOLD, argsort_labels
+
+    assert two_word_labels.shape[0] >= RADIX_SORT_THRESHOLD
+    order = benchmark(argsort_labels, two_word_labels)
+    assert order.shape[0] == two_word_labels.shape[0]
+
+
+def test_bench_wide_argsort_void_reference(benchmark, two_word_labels):
+    """The PR-4 fallback: stable argsort of big-endian void keys."""
+    from repro.utils.bitops import label_sort_keys
+
+    def run():
+        return np.argsort(label_sort_keys(two_word_labels), kind="stable")
+
+    order = benchmark(run)
+    from repro.utils.bitops import argsort_labels
+
+    assert np.array_equal(order, argsort_labels(two_word_labels))

@@ -1,0 +1,173 @@
+"""Serving benchmark: batched vs. batching-disabled throughput + tails.
+
+Starts the real HTTP service twice in-process -- once with
+micro-batching (window + max_batch + coalescing) and once with batching
+disabled (``window=0, max_batch=1``) -- and fires the *identical*
+deterministic open-loop load profile at both (mixed topologies from the
+``smoke`` scenario, zipf-ish hot-key skew, exponential arrivals).
+Writes ``BENCH_serve.json`` next to this file and exits non-zero if
+batched throughput falls below ``--floor`` (default 2x) times the
+unbatched server's, making it a CI gate like ``bench_regress.py``:
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+
+Both servers run in one process and share the topology session cache,
+so a warmup burst is fired first: neither measurement pays labeling or
+distance-matrix construction, and the comparison isolates what batching
+itself buys (window amortization + request coalescing + ``jobs`` > 1
+fan-out where cores allow).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import platform
+import sys
+from pathlib import Path
+
+from repro.serve.loadgen import LoadProfile, http_request_json, run_load
+from repro.serve.service import ServeSettings, ServerThread
+
+OUTPUT = Path(__file__).parent / "BENCH_serve.json"
+
+#: enforced batched/unbatched throughput ratio
+SPEEDUP_FLOOR = 2.0
+
+
+def _measure(profile: LoadProfile, settings: ServeSettings, label: str) -> dict:
+    with ServerThread(settings) as srv:
+
+        async def go():
+            status, health = await http_request_json(
+                srv.host, srv.port, "GET", "/healthz"
+            )
+            assert status == 200 and health["status"] == "ok", health
+            report = await run_load(profile, url=srv.url)
+            status, metrics = await http_request_json(
+                srv.host, srv.port, "GET", "/metrics?format=json"
+            )
+            assert status == 200
+            return report, metrics
+
+        report, metrics = asyncio.run(go())
+    if report.errors:
+        raise AssertionError(f"{label}: load run had errors: {report.errors}")
+    return {
+        "settings": {
+            "window_ms": settings.window_ms,
+            "max_batch": settings.max_batch,
+            "jobs": settings.jobs,
+        },
+        "report": report.to_json(),
+        "server": {
+            "batches_total": metrics.get("batches_total", 0),
+            "coalesced_total": metrics.get("coalesced_total", 0),
+            "batch_size": metrics.get("batch_size", {}),
+            "compute_seconds": metrics.get("compute_seconds", {}),
+            "labelings_computed": metrics.get("labelings_computed", 0),
+        },
+    }
+
+
+def run(profile: LoadProfile, jobs: int = 1) -> dict:
+    batched_settings = ServeSettings(
+        port=0, window_ms=60.0, max_batch=24, max_queue=4096, jobs=jobs
+    )
+    unbatched_settings = ServeSettings(
+        port=0, window_ms=0.0, max_batch=1, max_queue=4096, jobs=1
+    )
+
+    # Warmup: touch every topology/config group once so session caches
+    # are hot for both measured runs (they share the process-wide LRU).
+    warm_profile = LoadProfile(
+        scenario=profile.scenario,
+        requests=min(16, profile.requests),
+        rate=200.0,
+        seed=profile.seed + 1,
+        nh=profile.nh,
+        seed_pool=profile.seed_pool,
+        hot_keys=profile.hot_keys,
+        hot_fraction=0.0,  # spread over the whole catalog
+        matrix_path=profile.matrix_path,
+    )
+    _measure(warm_profile, batched_settings, "warmup")
+
+    batched = _measure(profile, batched_settings, "batched")
+    unbatched = _measure(profile, unbatched_settings, "unbatched")
+    speedup = (
+        batched["report"]["throughput_rps"]
+        / unbatched["report"]["throughput_rps"]
+    )
+    mean_batch = batched["report"]["batch"].get("mean_size", 0.0)
+    if not mean_batch > 1.0:
+        raise AssertionError(
+            f"no batch amortization: mean served batch size {mean_batch}"
+        )
+    return {
+        "meta": {
+            "python": platform.python_version(),
+            "workload": (
+                f"{profile.requests} requests at {profile.rate:g}/s, "
+                f"scenario {profile.scenario!r}, nh={profile.nh}, "
+                f"hot {profile.hot_keys} keys x {profile.hot_fraction:g}"
+            ),
+            "profile": profile.__dict__ | {"matrix_path": profile.matrix_path},
+        },
+        "batched": batched,
+        "unbatched": unbatched,
+        "speedup": speedup,
+        "floor": SPEEDUP_FLOOR,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--requests", type=int, default=80)
+    ap.add_argument("--rate", type=float, default=300.0)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--nh", type=int, default=1)
+    ap.add_argument("--jobs", type=int, default=1,
+                    help="run_batch worker processes inside the batched server")
+    ap.add_argument(
+        "--floor-scale",
+        type=float,
+        default=1.0,
+        help="multiply the speedup floor before enforcing it; CI uses < 1 "
+        "to absorb shared-runner noise (the JSON records the unscaled floor)",
+    )
+    args = ap.parse_args(argv)
+    profile = LoadProfile(
+        scenario="smoke",
+        requests=args.requests,
+        rate=args.rate,
+        seed=args.seed,
+        nh=args.nh,
+        seed_pool=1,
+        hot_keys=3,
+        hot_fraction=0.8,
+    )
+    payload = run(profile, jobs=args.jobs)
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    for label in ("batched", "unbatched"):
+        rep = payload[label]["report"]
+        lat = rep["latency"]
+        print(
+            f"{label:10s} {rep['throughput_rps']:7.1f} rps   "
+            f"p50 {lat['p50'] * 1e3:7.0f} ms   p95 {lat['p95'] * 1e3:7.0f} ms   "
+            f"p99 {lat['p99'] * 1e3:7.0f} ms   mean batch "
+            f"{rep['batch'].get('mean_size', 1.0):5.2f}"
+        )
+    enforced = SPEEDUP_FLOOR * args.floor_scale
+    verdict = "ok" if payload["speedup"] >= enforced else "FAIL"
+    print(
+        f"speedup {payload['speedup']:.2f}x (floor {SPEEDUP_FLOOR:g}x, "
+        f"enforcing {enforced:g}x)  {verdict}"
+    )
+    print(f"wrote {OUTPUT}")
+    return 0 if verdict == "ok" else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,12 +52,114 @@ LABELING_CACHE_ENV = "REPRO_LABELING_CACHE"
 #: Bumped when the cache file layout changes; part of every cache key.
 _LABELING_CACHE_SCHEMA = 1
 
+class SessionLRU:
+    """Bounded LRU of named :class:`Topology` sessions, with counters.
+
+    This is the process-wide session cache behind
+    :meth:`Topology.from_name` -- and, by design, the *same* object the
+    serving layer's :class:`repro.serve.cache.TopologyCache` operates
+    on, so there is exactly one place a labeling can live in memory (no
+    double-caching).  ``max_sessions=None`` (the default) keeps the
+    historical unbounded behavior; a serving process bounds it and lets
+    evicted labelings fall back to the disk tier.
+
+    Counter updates are single bytecode-level int operations, safe under
+    the GIL without a lock (metrics readers tolerate a stale snapshot).
+    """
+
+    def __init__(self, max_sessions: int | None = None) -> None:
+        self._data: "dict[str, Topology]" = {}
+        self.max_sessions = max_sessions
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def lookup(self, name: str) -> "Topology | None":
+        """The cached session for ``name``, refreshing its recency."""
+        topo = self._data.pop(name, None)
+        if topo is None:
+            self.misses += 1
+            return None
+        self._data[name] = topo  # re-insert = move to most recent
+        self.hits += 1
+        return topo
+
+    def store(self, name: str, topo: "Topology") -> None:
+        self._data.pop(name, None)
+        self._data[name] = topo
+        self._evict_over_limit()
+
+    def set_limit(self, max_sessions: int | None) -> None:
+        """Change the bound; shrinking evicts least-recent sessions now."""
+        if max_sessions is not None and max_sessions < 1:
+            raise ConfigurationError(
+                f"max_sessions must be >= 1 or None, got {max_sessions}"
+            )
+        self.max_sessions = max_sessions
+        self._evict_over_limit()
+
+    def _evict_over_limit(self) -> None:
+        if self.max_sessions is None:
+            return
+        while len(self._data) > self.max_sessions:
+            # dicts iterate in insertion order; the first key is the
+            # least recently used (lookups re-insert).
+            name = next(iter(self._data))
+            del self._data[name]
+            self.evictions += 1
+
+    def pop(self, name: str) -> None:
+        self._data.pop(name, None)
+
+    def clear(self) -> None:
+        """Drop every session and reset the counters (test isolation)."""
+        self._data.clear()
+        self.hits = self.misses = self.evictions = 0
+
+    def stats(self) -> dict:
+        return {
+            "size": len(self._data),
+            "limit": self.max_sessions,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
 #: Process-wide session cache for registered topology names.  Entries
 #: are dropped automatically when their builder is re-registered or
 #: unregistered, so a session never outlives its registry entry.
-_SESSIONS: dict[str, "Topology"] = {}
+_SESSIONS = SessionLRU()
 
-REGISTRY.subscribe(TOPOLOGY, lambda name: _SESSIONS.pop(name, None))
+#: Process-wide labeling-computation tallies (see :func:`labeling_stats`).
+_LABELING_STATS = {"computed": 0, "disk_hits": 0, "disk_misses": 0,
+                   "disk_stores": 0}
+
+
+def session_cache() -> SessionLRU:
+    """The process-wide named-session LRU (one per process, by design)."""
+    return _SESSIONS
+
+
+def labeling_stats() -> dict:
+    """Snapshot of labeling work done by this process.
+
+    ``computed`` counts actual ``partial_cube_labeling`` executions
+    across every session; ``disk_hits`` / ``disk_misses`` / ``disk_stores``
+    count ``REPRO_LABELING_CACHE`` traffic (misses only tick when the
+    cache is enabled).  The serving metrics endpoint exposes these, and
+    the no-double-caching tests assert on deltas of ``computed``.
+    """
+    return dict(_LABELING_STATS)
+
+
+REGISTRY.subscribe(TOPOLOGY, lambda name: _SESSIONS.pop(name))
 
 
 class Topology:
@@ -86,10 +188,12 @@ class Topology:
         experiment-runner task of a forked worker) resolving the same
         name shares one labeling and one distance matrix.
         """
-        if name not in _SESSIONS:
+        topo = _SESSIONS.lookup(name)
+        if topo is None:
             builder = REGISTRY.get(TOPOLOGY, name)
-            _SESSIONS[name] = cls(builder(), name=name)
-        return _SESSIONS[name]
+            topo = cls(builder(), name=name)
+            _SESSIONS.store(name, topo)
+        return topo
 
     @classmethod
     def from_graph(
@@ -156,6 +260,7 @@ class Topology:
             else:
                 self._labeling = partial_cube_labeling(self.graph)
                 self.labelings_computed += 1
+                _LABELING_STATS["computed"] += 1
                 _store_cached_labeling(self.graph, self._labeling)
         return self._labeling
 
@@ -220,10 +325,13 @@ def _load_cached_labeling(graph: Graph) -> PartialCubeLabeling | None:
     except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile):
         # Truncated zip magic raises BadZipFile, not ValueError; any
         # unreadable file must degrade to a recompute, never a crash.
+        _LABELING_STATS["disk_misses"] += 1
         return None
     cut_edges = tuple(np.split(flat, splits)) if dim else ()
     if len(cut_edges) != dim or labels.shape[0] != graph.n:
+        _LABELING_STATS["disk_misses"] += 1
         return None
+    _LABELING_STATS["disk_hits"] += 1
     return PartialCubeLabeling(labels=labels, dim=dim, cut_edges=cut_edges)
 
 
@@ -244,7 +352,12 @@ def _store_cached_labeling(graph: Graph, pc: PartialCubeLabeling) -> None:
         fd, tmp = tempfile.mkstemp(dir=root, prefix=".labeling-", suffix=".npz.tmp")
         try:
             with os.fdopen(fd, "wb") as f:
-                np.savez(
+                # Compressed since cache schema 1 stores started carrying
+                # large cut_edges arrays (O(n) edges per class for wide
+                # labelings, highly zlib-friendly index data).  np.load
+                # transparently reads both, so pre-compression entries
+                # written by older code keep hitting.
+                np.savez_compressed(
                     f,
                     labels=pc.labels,
                     dim=np.int64(pc.dim),
@@ -252,6 +365,7 @@ def _store_cached_labeling(graph: Graph, pc: PartialCubeLabeling) -> None:
                     cut_splits=np.asarray(splits, dtype=np.int64),
                 )
             os.replace(tmp, path)
+            _LABELING_STATS["disk_stores"] += 1
         except BaseException:
             try:
                 os.unlink(tmp)

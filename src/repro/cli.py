@@ -8,6 +8,9 @@ without writing Python:
 - ``partition GRAPH K``           -- balanced k-way partition (KaHIP stand-in)
 - ``map GRAPH TOPOLOGY``          -- partition + initial mapping (c1..c4)
 - ``enhance GRAPH TOPOLOGY MU``   -- run TIMER on an existing mapping
+- ``serve``                       -- long-running batching mapping service
+                                     (JSON over HTTP, or --stdio JSON lines)
+- ``loadgen URL``                 -- deterministic open-loop load generator
 
 ``TOPOLOGY`` is either a registered name (``grid16x16``, ``torus8x8x8``,
 ``hq8``, ... -- see the unified registry, kind ``topology``) or a path to
@@ -24,6 +27,7 @@ redesign.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -162,6 +166,52 @@ def cmd_enhance(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    # Imported here so the file-based commands never pay for asyncio.
+    from repro.serve.service import ServeSettings, run_server
+
+    return run_server(
+        ServeSettings(
+            host=args.host,
+            port=args.port,
+            window_ms=args.window_ms,
+            max_batch=args.max_batch,
+            max_queue=args.max_queue,
+            jobs=args.jobs,
+            max_sessions=args.max_sessions,
+            labeling_cache=args.labeling_cache,
+            max_graph_n=args.max_n,
+            warm=tuple(args.warm),
+            stdio=args.stdio,
+        )
+    )
+
+
+def cmd_loadgen(args) -> int:
+    from repro.serve.loadgen import LoadProfile, generate_load
+
+    profile = LoadProfile(
+        scenario=args.scenario,
+        requests=args.requests,
+        rate=args.rate,
+        seed=args.seed,
+        nh=args.nh,
+        seed_pool=args.seed_pool,
+        hot_keys=args.hot_keys,
+        hot_fraction=args.hot_fraction,
+        deadline_s=args.deadline,
+        matrix_path=args.matrix,
+    )
+    report = generate_load(profile, args.url)
+    print(report.render(), file=sys.stderr)
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(report.to_json(), indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0 if report.ok == report.requests else 3
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="python -m repro",
@@ -224,6 +274,53 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("-o", "--out", default=None)
     add_hook_flags(q)
     q.set_defaults(fn=cmd_enhance)
+
+    q = sub.add_parser("serve", help="long-running batching mapping service")
+    q.add_argument("--host", default="127.0.0.1")
+    q.add_argument("--port", type=int, default=8080, help="0 = ephemeral")
+    q.add_argument("--window-ms", type=float, default=25.0,
+                   help="micro-batching window (milliseconds)")
+    q.add_argument("--max-batch", type=int, default=16,
+                   help="dispatch a group at this many requests")
+    q.add_argument("--max-queue", type=int, default=256,
+                   help="admission bound on in-flight requests (429 beyond)")
+    q.add_argument("--jobs", type=int, default=1,
+                   help="worker processes per batch dispatch")
+    q.add_argument("--max-sessions", type=int, default=None,
+                   help="bound the topology session LRU (evictions fall "
+                   "back to the labeling disk cache)")
+    q.add_argument("--labeling-cache", default=None, metavar="DIR",
+                   help="enable the npz labeling disk cache in DIR")
+    q.add_argument("--max-n", type=int, default=None,
+                   help="reject application graphs above this many vertices")
+    q.add_argument("--warm", action="append", default=[], metavar="TOPOLOGY",
+                   help="precompute this topology's labeling at startup "
+                   "(repeatable)")
+    q.add_argument("--stdio", action="store_true",
+                   help="JSON-lines over stdin/stdout instead of HTTP")
+    q.set_defaults(fn=cmd_serve)
+
+    q = sub.add_parser("loadgen", help="deterministic open-loop load generator")
+    q.add_argument("url", help="server base URL, e.g. http://127.0.0.1:8080")
+    q.add_argument("--scenario", default="smoke",
+                   help="scenario naming the request mix (default: smoke)")
+    q.add_argument("--matrix", default=None, help="TOML/JSON matrix file")
+    q.add_argument("--requests", type=int, default=60)
+    q.add_argument("--rate", type=float, default=40.0,
+                   help="offered load in requests/second")
+    q.add_argument("--seed", type=int, default=0)
+    q.add_argument("--nh", type=int, default=2,
+                   help="TIMER hierarchies per request")
+    q.add_argument("--seed-pool", type=int, default=2,
+                   help="distinct request seeds per catalog combination")
+    q.add_argument("--hot-keys", type=int, default=3,
+                   help="size of the hot request set")
+    q.add_argument("--hot-fraction", type=float, default=0.6,
+                   help="share of traffic on the hot set")
+    q.add_argument("--deadline", type=float, default=None,
+                   help="per-request deadline in seconds")
+    q.add_argument("--out", default=None, help="write the JSON report here")
+    q.set_defaults(fn=cmd_loadgen)
     return p
 
 

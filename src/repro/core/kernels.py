@@ -60,7 +60,7 @@ import os
 import numpy as np
 
 from repro.core.contraction import Level
-from repro.utils.bitops import label_lsb, label_sort_keys
+from repro.utils.bitops import argsort_labels, label_lsb
 from repro.utils.segments import build_csr, segment_sum
 
 __all__ = [
@@ -167,11 +167,11 @@ def sibling_pairs(labels: np.ndarray) -> np.ndarray:
     which order exactly like the packed integers do on the narrow path.
     """
     if labels.ndim == 1:
-        order = np.argsort(labels, kind="stable")
+        order = argsort_labels(labels)
         lab_sorted = labels[order]
         adjacent = (lab_sorted[1:] >> 1) == (lab_sorted[:-1] >> 1)
     else:
-        order = np.argsort(label_sort_keys(labels), kind="stable")
+        order = argsort_labels(labels)
         lab_sorted = labels[order]
         # Siblings differ only in bit 0 of word 0: compare word 0 >> 1
         # and every higher word verbatim.

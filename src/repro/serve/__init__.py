@@ -1,0 +1,70 @@
+"""``repro.serve``: the pipeline as a long-running mapping service.
+
+Layers (bottom up):
+
+- :mod:`repro.serve.metrics` -- lock-cheap counters / gauges / latency
+  histograms with JSON and Prometheus rendering;
+- :mod:`repro.serve.cache` -- the two-tier topology cache (bounded
+  session LRU shared with :meth:`repro.api.Topology.from_name`, npz disk
+  tier behind it);
+- :mod:`repro.serve.scheduler` -- micro-batching with request
+  coalescing, admission control and per-request deadlines, dispatching
+  through :meth:`repro.api.Pipeline.run_batch`;
+- :mod:`repro.serve.service` -- the asyncio JSON-over-HTTP front end
+  (``/map``, ``/enhance``, ``/batch``, ``/healthz``, ``/metrics``) and
+  the JSON-lines stdio mode;
+- :mod:`repro.serve.loadgen` -- a deterministic open-loop load
+  generator over scenario-derived request mixes.
+
+Protocol, batching semantics and the determinism contract are
+documented in ``docs/serving.md``; ``python -m repro serve`` and
+``python -m repro loadgen`` are the CLI entry points, and
+``benchmarks/bench_serve.py`` measures the batched-vs-unbatched
+throughput and tail latency into ``BENCH_serve.json``.
+"""
+
+from repro.serve.cache import TopologyCache
+from repro.serve.loadgen import LoadProfile, LoadReport, generate_load, run_load
+from repro.serve.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.serve.scheduler import (
+    BatchScheduler,
+    DeadlineExceededError,
+    GraphSpec,
+    MapRequest,
+    QueueFullError,
+    ServedResult,
+)
+from repro.serve.service import (
+    MappingService,
+    ServeSettings,
+    ServerThread,
+    build_service,
+    parse_config,
+    parse_request,
+    run_server,
+)
+
+__all__ = [
+    "TopologyCache",
+    "LoadProfile",
+    "LoadReport",
+    "generate_load",
+    "run_load",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "BatchScheduler",
+    "DeadlineExceededError",
+    "GraphSpec",
+    "MapRequest",
+    "QueueFullError",
+    "ServedResult",
+    "MappingService",
+    "ServeSettings",
+    "ServerThread",
+    "build_service",
+    "parse_config",
+    "parse_request",
+    "run_server",
+]

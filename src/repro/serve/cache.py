@@ -1,0 +1,93 @@
+"""Two-tier topology cache for the serving layer.
+
+Tier 1 is the process-wide :class:`~repro.api.topology.SessionLRU`
+behind :meth:`Topology.from_name` -- *the same object*, not a copy, so a
+labeling lives in exactly one place in memory no matter whether a
+pipeline, the CLI or the serve scheduler resolved it (the
+no-double-caching contract, asserted in the tests via the
+``labelings_computed`` counter).  The serving layer merely *bounds* it:
+a long-running service with a wide topology matrix must not accumulate
+distance matrices forever, so evictions drop the least recently served
+session.
+
+Tier 2 is the ``REPRO_LABELING_CACHE`` npz disk cache (PR 4): an evicted
+session's labeling is re-read from disk on the next request instead of
+being recomputed -- eviction costs one ``np.load``, not an
+``O(|Ep|^2)`` recognition.  :class:`TopologyCache` can point the
+environment variable at a directory for the lifetime of the service.
+
+Hit/miss/eviction counters for both tiers surface in ``/metrics``
+through :meth:`TopologyCache.stats`.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.api.registry import REGISTRY, TOPOLOGY
+from repro.api.topology import (
+    LABELING_CACHE_ENV,
+    Topology,
+    labeling_stats,
+    session_cache,
+)
+
+
+#: Constructor default distinguishing "no bound requested" (leave the
+#: shared LRU's current limit alone) from an explicit ``None`` ("make it
+#: unbounded") -- a default-constructed facade must never silently undo
+#: an operator's ``--max-sessions``.
+_KEEP_LIMIT = object()
+
+
+class TopologyCache:
+    """Serving facade over the shared session LRU + labeling disk cache.
+
+    ``max_sessions`` bounds tier 1: an int sets the bound, an explicit
+    ``None`` makes it unbounded, and omitting it keeps whatever limit
+    the process already runs with.  ``disk_dir`` enables tier 2 by
+    exporting ``REPRO_LABELING_CACHE`` for this process (``None`` leaves
+    the environment alone, so an operator-set value keeps working).
+    """
+
+    def __init__(
+        self,
+        max_sessions: "int | None | object" = _KEEP_LIMIT,
+        disk_dir: str | Path | None = None,
+    ) -> None:
+        self.sessions = session_cache()
+        if max_sessions is not _KEEP_LIMIT:
+            self.sessions.set_limit(max_sessions)
+        if disk_dir is not None:
+            os.environ[LABELING_CACHE_ENV] = str(disk_dir)
+        self._base = labeling_stats()
+
+    def get(self, spec: str) -> Topology:
+        """Resolve a topology spec through the shared caches.
+
+        Registered names go through :meth:`Topology.from_name` (tier 1
+        counted, tier 2 behind it); file paths resolve per call and are
+        deliberately not cached -- a mutable file must be re-read.
+        """
+        if (TOPOLOGY, str(spec)) in REGISTRY:
+            return Topology.from_name(str(spec))
+        return Topology.from_spec(spec)
+
+    def warm(self, names: "list[str] | tuple[str, ...]") -> None:
+        """Precompute labelings for topologies the service will serve."""
+        for name in names:
+            self.get(name).labeling
+
+    def stats(self) -> dict:
+        """Both tiers' counters, disk traffic relative to construction."""
+        disk = labeling_stats()
+        return {
+            "sessions": self.sessions.stats(),
+            "labelings_computed": disk["computed"] - self._base["computed"],
+            "disk": {
+                "hits": disk["disk_hits"] - self._base["disk_hits"],
+                "misses": disk["disk_misses"] - self._base["disk_misses"],
+                "stores": disk["disk_stores"] - self._base["disk_stores"],
+            },
+        }

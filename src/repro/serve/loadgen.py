@@ -1,0 +1,296 @@
+"""Deterministic open-loop load generator for the mapping service.
+
+Traffic is derived from a *scenario* (the experiment matrix of PR 2):
+its instances x topologies x cases span the request catalog, so the
+load profile exercises exactly the mix a sweep would -- including wide-
+label topologies when the scenario has them.  On top of the catalog:
+
+- a **seed pool** multiplies each combination by a few request seeds;
+- a **hot set** concentrates ``hot_fraction`` of traffic on the first
+  ``hot_keys`` catalog entries (the zipf-ish popularity skew every real
+  mapping service sees, and what batching's request coalescing feeds on);
+- **open-loop arrivals**: exponential inter-arrival times at ``rate``
+  requests/second, fired on schedule regardless of completions -- the
+  honest way to measure tail latency under overload.
+
+Everything derives from ``(seed, purpose)`` streams via
+:func:`repro.utils.rng.derive_seed_sequence`, so two runs of the same
+profile issue byte-identical request sequences at identical offsets --
+the serve benchmarks compare batched vs. unbatched servers on literally
+the same traffic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from urllib.parse import urlsplit
+
+from repro.errors import ConfigurationError
+from repro.experiments.matrix import get_scenario
+from repro.utils.rng import derive_rng
+
+#: every percentile the report carries
+_QUANTILES = ((0.50, "p50"), (0.95, "p95"), (0.99, "p99"))
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """A fully deterministic description of one load run."""
+
+    scenario: str = "smoke"
+    requests: int = 60
+    rate: float = 40.0
+    seed: int = 0
+    nh: int = 2
+    seed_pool: int = 2
+    hot_keys: int = 3
+    hot_fraction: float = 0.6
+    deadline_s: float | None = None
+    matrix_path: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ConfigurationError("requests must be >= 1")
+        if self.rate <= 0:
+            raise ConfigurationError("rate must be positive")
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise ConfigurationError("hot_fraction must be in [0, 1]")
+        if self.seed_pool < 1 or self.hot_keys < 1:
+            raise ConfigurationError("seed_pool and hot_keys must be >= 1")
+
+
+def build_catalog(profile: LoadProfile) -> list[dict]:
+    """The distinct request bodies a profile draws from, in stable order."""
+    scenario = get_scenario(profile.scenario, profile.matrix_path)
+    cfg = scenario.config
+    catalog: list[dict] = []
+    for topology in cfg.topologies:
+        for instance in cfg.instances:
+            for case in cfg.cases:
+                for s in range(profile.seed_pool):
+                    catalog.append(
+                        {
+                            "topology": topology,
+                            "graph": {
+                                "kind": "generate",
+                                "instance": instance,
+                                "seed": s,
+                                "divisor": cfg.divisor,
+                                "n_min": cfg.n_min,
+                                "n_max": cfg.n_max,
+                            },
+                            "seed": s,
+                            "config": {"case": case, "nh": profile.nh},
+                            **(
+                                {"deadline_s": profile.deadline_s}
+                                if profile.deadline_s
+                                else {}
+                            ),
+                        }
+                    )
+    return catalog
+
+
+def plan_requests(profile: LoadProfile) -> list[tuple[float, dict]]:
+    """``(arrival_offset_seconds, body)`` per request, fully derived.
+
+    The hot set is the catalog's first ``hot_keys`` entries; with
+    probability ``hot_fraction`` a request draws uniformly from it,
+    otherwise uniformly from the remainder (or the whole catalog when it
+    is smaller than the hot set).
+    """
+    catalog = build_catalog(profile)
+    arrivals_rng = derive_rng(profile.seed, "loadgen", "arrivals")
+    mix_rng = derive_rng(profile.seed, "loadgen", "mix")
+    offsets = arrivals_rng.exponential(
+        1.0 / profile.rate, size=profile.requests
+    ).cumsum()
+    hot = catalog[: profile.hot_keys]
+    cold = catalog[profile.hot_keys :] or catalog
+    out: list[tuple[float, dict]] = []
+    for t in offsets:
+        pool = hot if mix_rng.random() < profile.hot_fraction else cold
+        body = pool[int(mix_rng.integers(len(pool)))]
+        out.append((float(t), body))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Minimal asyncio HTTP client (stdlib only, like the server)
+# ----------------------------------------------------------------------
+async def http_request_json(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: dict | None = None,
+    timeout: float = 120.0,
+):
+    """One request over a fresh connection -> ``(status, parsed body)``."""
+
+    async def go():
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            payload = json.dumps(body).encode("utf-8") if body is not None else b""
+            head = (
+                f"{method} {path} HTTP/1.1\r\nHost: {host}:{port}\r\n"
+                f"Connection: close\r\nContent-Type: application/json\r\n"
+                f"Content-Length: {len(payload)}\r\n\r\n"
+            )
+            writer.write(head.encode("latin-1") + payload)
+            await writer.drain()
+            status_line = await reader.readline()
+            status = int(status_line.split()[1])
+            length = None
+            while True:
+                raw = await reader.readline()
+                if raw in (b"\r\n", b"\n", b""):
+                    break
+                key, _, value = raw.decode("latin-1").partition(":")
+                if key.strip().lower() == "content-length":
+                    length = int(value)
+            data = (
+                await reader.readexactly(length)
+                if length is not None
+                else await reader.read()
+            )
+            text = data.decode("utf-8")
+            try:
+                return status, json.loads(text)
+            except json.JSONDecodeError:
+                return status, text
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    return await asyncio.wait_for(go(), timeout=timeout)
+
+
+# ----------------------------------------------------------------------
+# Running a profile and reporting
+# ----------------------------------------------------------------------
+@dataclass
+class LoadReport:
+    """What one load run measured (JSON-able via :meth:`to_json`)."""
+
+    profile: LoadProfile
+    requests: int = 0
+    ok: int = 0
+    errors: dict = field(default_factory=dict)
+    duration_seconds: float = 0.0
+    throughput_rps: float = 0.0
+    offered_rps: float = 0.0
+    latency: dict = field(default_factory=dict)
+    batch: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        out = asdict(self)
+        out["profile"] = asdict(self.profile)
+        return out
+
+    def render(self) -> str:
+        lat = self.latency
+        return (
+            f"{self.ok}/{self.requests} ok in {self.duration_seconds:.2f}s "
+            f"({self.throughput_rps:.1f} rps served, "
+            f"{self.offered_rps:.1f} rps offered); latency p50 "
+            f"{lat.get('p50', 0) * 1e3:.0f}ms p95 {lat.get('p95', 0) * 1e3:.0f}ms "
+            f"p99 {lat.get('p99', 0) * 1e3:.0f}ms; mean batch "
+            f"{self.batch.get('mean_size', 0):.2f} "
+            f"({self.batch.get('coalesced', 0)} coalesced)"
+            + (f"; errors {self.errors}" if self.errors else "")
+        )
+
+
+def _summarize(
+    profile: LoadProfile,
+    samples: list[tuple[float, int, dict | str]],
+    duration: float,
+) -> LoadReport:
+    report = LoadReport(profile=profile, requests=len(samples))
+    latencies = sorted(lat for lat, _status, _body in samples)
+    sizes: list[int] = []
+    coalesced = 0
+    for _lat, status, body in samples:
+        if status == 200 and isinstance(body, dict) and body.get("ok"):
+            report.ok += 1
+            info = body.get("batch", {})
+            sizes.append(int(info.get("size", 1)))
+            coalesced += bool(info.get("coalesced"))
+        else:
+            key = (
+                body.get("error", f"http_{status}")
+                if isinstance(body, dict)
+                else f"http_{status}"
+            )
+            report.errors[key] = report.errors.get(key, 0) + 1
+    report.duration_seconds = duration
+    report.throughput_rps = report.ok / duration if duration > 0 else 0.0
+    report.offered_rps = profile.rate
+    if latencies:
+        n = len(latencies)
+        report.latency = {
+            "mean": sum(latencies) / n,
+            "max": latencies[-1],
+            **{
+                name: latencies[min(n - 1, int(q * n))]
+                for q, name in _QUANTILES
+            },
+        }
+    if sizes:
+        report.batch = {
+            "mean_size": sum(sizes) / len(sizes),
+            "max_size": max(sizes),
+            "coalesced": coalesced,
+        }
+    return report
+
+
+async def run_load(
+    profile: LoadProfile,
+    url: str | None = None,
+    service=None,
+) -> LoadReport:
+    """Fire the profile at a server and collect the report.
+
+    ``url`` drives a live HTTP server; ``service`` (a
+    :class:`~repro.serve.service.MappingService`) is the in-process mode
+    the unit tests use -- same bodies, no sockets.
+    """
+    if (url is None) == (service is None):
+        raise ConfigurationError("pass exactly one of url= or service=")
+    if url is not None:
+        parts = urlsplit(url)
+        host, port = parts.hostname, parts.port
+        if host is None or port is None:
+            raise ConfigurationError(f"load URL needs host and port: {url!r}")
+    schedule = plan_requests(profile)
+    t0 = time.perf_counter()
+
+    async def fire(offset: float, body: dict):
+        delay = offset - (time.perf_counter() - t0)
+        if delay > 0:
+            await asyncio.sleep(delay)
+        sent = time.perf_counter()
+        if url is not None:
+            status, reply = await http_request_json(host, port, "POST", "/map", body)
+        else:
+            status, reply, _headers = await service.handle("map", body)
+        return time.perf_counter() - sent, status, reply
+
+    samples = await asyncio.gather(
+        *(fire(offset, body) for offset, body in schedule)
+    )
+    duration = time.perf_counter() - t0
+    return _summarize(profile, list(samples), duration)
+
+
+def generate_load(profile: LoadProfile, url: str) -> LoadReport:
+    """Blocking wrapper used by ``python -m repro loadgen``."""
+    return asyncio.run(run_load(profile, url=url))

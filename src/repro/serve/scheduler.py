@@ -1,0 +1,505 @@
+"""Micro-batching scheduler: group, coalesce, dispatch, bound, reject.
+
+The serving front end (:mod:`repro.serve.service`) turns every wire
+request into a :class:`MapRequest` and awaits
+:meth:`BatchScheduler.submit`.  The scheduler holds each request for at
+most one *batching window* and groups everything that arrives for the
+same ``(topology, pipeline-config identity)`` into one dispatch through
+:meth:`repro.api.Pipeline.run_batch` -- the amortization shape the API
+layer was built for (one labeling, one distance matrix, one worker-pool
+fan-out per batch instead of per request).
+
+Inside a batch, requests with identical work identity -- same graph
+spec, same seed, same supplied mapping -- are **coalesced**: computed
+once, answered many times.  This is sound *because* of the determinism
+contract (same request == same mapping, test-asserted), and it is where
+most of the batching throughput win comes from on hot keys.
+
+Admission control is a single bound on in-flight requests
+(``max_queue``): past it, ``submit`` fails fast with
+:class:`QueueFullError` carrying a retry-after hint, which the HTTP
+layer maps to a 429.  Every request may carry a deadline; requests that
+expire while queued are failed without being computed, and requests
+whose deadline passes *during* their batch's computation are failed on
+completion (the work is wasted, the client already walked away).
+
+Determinism: a batch dispatch passes each request's seed verbatim to
+``run_batch(seeds=[...])``, which runs ``Pipeline.run(ga, seed=s)`` per
+graph -- the same call a direct library user makes.  Batched, coalesced,
+``jobs=1`` or ``jobs=N``: byte-identical mappings.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.api.pipeline import Pipeline, PipelineConfig, PipelineResult
+from repro.errors import ConfigurationError, ReproError
+from repro.experiments.instances import generate_instance, instance_names
+from repro.experiments.store import canonical_json, cell_key
+from repro.graphs.builder import from_edges
+from repro.graphs.graph import Graph
+from repro.serve.cache import TopologyCache
+from repro.serve.metrics import MetricsRegistry
+
+
+class QueueFullError(ReproError):
+    """Admission control rejected the request (HTTP 429)."""
+
+    def __init__(self, pending: int, max_queue: int, retry_after: float) -> None:
+        super().__init__(
+            f"queue full: {pending} requests in flight (limit {max_queue})"
+        )
+        self.retry_after = retry_after
+
+
+class DeadlineExceededError(ReproError):
+    """The request's deadline passed before a result could be returned."""
+
+
+# ----------------------------------------------------------------------
+# Request model
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GraphSpec:
+    """Deterministic description of an application graph.
+
+    Two kinds travel on the wire:
+
+    - ``generate``: a Table-1 synthetic instance by name, regenerated
+      from ``(instance, seed, sizing)`` -- compact and fully
+      reproducible, the load generator's format;
+    - ``edges``: an inline ``n`` + weighted edge list for callers
+      mapping their own graphs.
+
+    ``cache_key()`` is the content identity coalescing works on.
+    """
+
+    kind: str = "generate"
+    instance: str = "p2p-Gnutella"
+    seed: int = 0
+    divisor: int = 1024
+    n_min: int = 128
+    n_max: int = 192
+    n: int | None = None
+    edges: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("generate", "edges"):
+            raise ConfigurationError(
+                f"graph spec kind must be 'generate' or 'edges', got {self.kind!r}"
+            )
+        if self.kind == "generate" and self.instance not in instance_names():
+            raise ConfigurationError(
+                f"unknown instance {self.instance!r}; known: "
+                f"{', '.join(instance_names())}"
+            )
+        if self.kind == "edges" and self.n is None:
+            raise ConfigurationError("inline graph spec needs a vertex count 'n'")
+
+    def build(self) -> Graph:
+        if self.kind == "generate":
+            return generate_instance(
+                self.instance,
+                seed=self.seed,
+                divisor=self.divisor,
+                n_min=self.n_min,
+                n_max=self.n_max,
+            )
+        return from_edges(
+            self.n, [tuple(e) for e in self.edges], name=f"inline{self.n}"
+        )
+
+    def cache_key(self) -> str:
+        if self.kind == "generate":
+            return (
+                f"gen:{self.instance}:{self.seed}:{self.divisor}"
+                f":{self.n_min}:{self.n_max}"
+            )
+        digest = hashlib.sha256(
+            canonical_json([self.n, [list(map(float, e)) for e in self.edges]])
+            .encode()
+        ).hexdigest()[:16]
+        return f"edges:{digest}"
+
+    def to_wire(self) -> dict:
+        if self.kind == "generate":
+            return {
+                "kind": "generate",
+                "instance": self.instance,
+                "seed": self.seed,
+                "divisor": self.divisor,
+                "n_min": self.n_min,
+                "n_max": self.n_max,
+            }
+        return {"kind": "edges", "n": self.n, "edges": [list(e) for e in self.edges]}
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "GraphSpec":
+        if not isinstance(payload, dict):
+            raise ConfigurationError(f"graph spec must be an object, got {payload!r}")
+        known = {
+            "kind", "instance", "seed", "divisor", "n_min", "n_max", "n", "edges",
+        }
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown graph spec keys {unknown}; known: {sorted(known)}"
+            )
+        body = dict(payload)
+        if "edges" in body:
+            body["edges"] = tuple(tuple(e) for e in body["edges"])
+        return cls(**body)
+
+
+@dataclass
+class MapRequest:
+    """One unit of serving work, parsed and validated."""
+
+    topology: str
+    graph: GraphSpec
+    config: PipelineConfig = field(default_factory=PipelineConfig)
+    seed: int | None = None
+    #: supplied mapping => enhance-only request (partition/map skipped)
+    mu: np.ndarray | None = None
+    deadline_s: float | None = None
+
+    def group_key(self) -> str:
+        """Batching group: same topology + same config identity-hash."""
+        return cell_key(
+            {"topology": self.topology, "config": self.config.identity()}
+        )
+
+    def work_key(self) -> tuple:
+        """Coalescing identity: requests with equal keys share one run."""
+        mu_tag = (
+            hashlib.sha256(
+                np.ascontiguousarray(self.mu, dtype=np.int64).tobytes()
+            ).hexdigest()[:16]
+            if self.mu is not None
+            else None
+        )
+        return (self.graph.cache_key(), self.seed, mu_tag)
+
+
+@dataclass
+class ServedResult:
+    """A pipeline result plus how the scheduler handled it."""
+
+    result: PipelineResult
+    batch_size: int
+    batch_unique: int
+    coalesced: bool
+    queue_seconds: float
+    compute_seconds: float
+
+
+@dataclass
+class _Job:
+    request: MapRequest
+    future: asyncio.Future
+    enqueued: float
+    deadline: float | None
+
+
+class _Group:
+    __slots__ = ("jobs", "timer", "pipeline")
+
+    def __init__(self, pipeline: Pipeline) -> None:
+        self.jobs: list[_Job] = []
+        self.timer: asyncio.TimerHandle | None = None
+        #: held here so a dispatch keeps its pipeline even if the
+        #: scheduler's pipeline LRU evicts the group key meanwhile
+        self.pipeline = pipeline
+
+
+# ----------------------------------------------------------------------
+# Scheduler
+# ----------------------------------------------------------------------
+class BatchScheduler:
+    """Window-and-size micro-batcher over a shared :class:`TopologyCache`.
+
+    Parameters
+    ----------
+    window_s:
+        how long the first request of a group waits for company.  ``0``
+        still batches whatever lands in the same event-loop tick; the
+        benchmarks' "batching disabled" baseline uses ``max_batch=1``.
+    max_batch:
+        dispatch a group as soon as it holds this many requests.
+    max_queue:
+        admission bound on in-flight requests across all groups.
+    jobs:
+        worker processes for ``run_batch`` inside one dispatch (1 =
+        in-process, byte-identical either way).
+    dispatch_workers:
+        executor threads running batch computations; 1 (the default)
+        serializes batches, which keeps single-core latency predictable.
+    max_pipelines:
+        LRU bound on cached per-group pipelines (group keys embed
+        client-supplied config values, so the cache must not trust
+        clients to keep the key space small).
+    """
+
+    def __init__(
+        self,
+        *,
+        window_s: float = 0.025,
+        max_batch: int = 16,
+        max_queue: int = 256,
+        jobs: int = 1,
+        dispatch_workers: int = 1,
+        max_pipelines: int = 64,
+        cache: TopologyCache | None = None,
+        metrics: MetricsRegistry | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        if max_batch < 1 or max_queue < 1 or max_pipelines < 1:
+            raise ConfigurationError(
+                "max_batch, max_queue and max_pipelines must be >= 1"
+            )
+        self.window_s = float(window_s)
+        self.max_batch = int(max_batch)
+        self.max_queue = int(max_queue)
+        self.jobs = int(jobs)
+        self.max_pipelines = int(max_pipelines)
+        self.cache = cache if cache is not None else TopologyCache()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.clock = clock
+        self._groups: dict[str, _Group] = {}
+        #: LRU of assembled pipelines by group key.  Bounded because the
+        #: config identity contains client-controlled floats (epsilon):
+        #: unbounded, a hostile stream of distinct configs would pin
+        #: Topology sessions past the session LRU's own evictions.
+        self._pipelines: dict[str, Pipeline] = {}
+        self._pending = 0
+        self._closed = False
+        self._executor = ThreadPoolExecutor(
+            max_workers=dispatch_workers, thread_name_prefix="repro-serve"
+        )
+        self._dispatch_tasks: set[asyncio.Task] = set()
+        m = self.metrics
+        self._m_requests = m.counter(
+            "requests_total", "requests admitted to the scheduler"
+        )
+        self._m_rejected = m.counter(
+            "rejected_total", "requests rejected before compute, by reason"
+        )
+        self._m_batches = m.counter("batches_total", "batch dispatches")
+        self._m_coalesced = m.counter(
+            "coalesced_total", "requests answered from a shared in-batch run"
+        )
+        self._m_queue_depth = m.gauge("queue_depth", "in-flight requests")
+        self._m_batch_size = m.histogram(
+            "batch_size", "requests per dispatched batch",
+            bounds=tuple(float(x) for x in (1, 2, 3, 4, 6, 8, 12, 16, 24, 32,
+                                            48, 64, 96, 128)),
+        )
+        self._m_batch_unique = m.histogram(
+            "batch_unique", "unique computations per dispatched batch",
+            bounds=self._m_batch_size.bounds,
+        )
+        self._m_queue_s = m.histogram(
+            "queue_seconds", "admission -> dispatch wait"
+        )
+        self._m_compute_s = m.histogram(
+            "compute_seconds", "batch computation wall time"
+        )
+
+    # -- public API ----------------------------------------------------
+    @property
+    def pending(self) -> int:
+        return self._pending
+
+    def pipeline_for(
+        self, request: MapRequest, gkey: str | None = None
+    ) -> Pipeline:
+        """The (cached) pipeline serving this request's batch group."""
+        if gkey is None:
+            gkey = request.group_key()
+        pipe = self._pipelines.pop(gkey, None)
+        if pipe is None:
+            topology = self.cache.get(request.topology)
+            pipe = Pipeline(topology, request.config)
+        self._pipelines[gkey] = pipe  # (re-)insert = most recently used
+        while len(self._pipelines) > self.max_pipelines:
+            self._pipelines.pop(next(iter(self._pipelines)))
+        return pipe
+
+    async def submit(self, request: MapRequest) -> ServedResult:
+        """Admit, batch, and await one request (may raise the 4xx errors)."""
+        if self._closed:
+            raise ReproError("scheduler is closed")
+        if self._pending >= self.max_queue:
+            self._m_rejected.inc(label="queue_full")
+            raise QueueFullError(
+                self._pending, self.max_queue, retry_after=max(2 * self.window_s, 0.05)
+            )
+        gkey = request.group_key()
+        # Resolve the pipeline *before* enqueueing so an unknown
+        # topology or bad config rejects immediately, not mid-batch.
+        pipe = self.pipeline_for(request, gkey)
+        loop = asyncio.get_running_loop()
+        now = self.clock()
+        job = _Job(
+            request=request,
+            future=loop.create_future(),
+            enqueued=now,
+            deadline=(now + request.deadline_s) if request.deadline_s else None,
+        )
+        self._pending += 1
+        self._m_requests.inc()
+        self._m_queue_depth.set(self._pending)
+        group = self._groups.get(gkey)
+        if group is None:
+            group = self._groups[gkey] = _Group(pipe)
+        group.jobs.append(job)
+        if len(group.jobs) >= self.max_batch:
+            self._flush(gkey)
+        elif group.timer is None:
+            group.timer = loop.call_later(self.window_s, self._flush, gkey)
+        return await job.future
+
+    async def drain(self) -> None:
+        """Wait until every admitted request has been answered."""
+        while self._pending or self._dispatch_tasks:
+            await asyncio.sleep(0.005)
+
+    def close(self) -> None:
+        """Stop accepting work and fail whatever is still queued."""
+        self._closed = True
+        for gkey, group in list(self._groups.items()):
+            if group.timer is not None:
+                group.timer.cancel()
+                group.timer = None
+            for job in group.jobs:
+                if not job.future.done():
+                    job.future.set_exception(ReproError("scheduler closed"))
+                self._pending -= 1
+            group.jobs.clear()
+        self._groups.clear()
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+    # -- internals -----------------------------------------------------
+    def _flush(self, gkey: str) -> None:
+        """Move up to ``max_batch`` queued jobs of a group into a dispatch."""
+        group = self._groups.get(gkey)
+        if group is None:
+            return
+        if group.timer is not None:
+            group.timer.cancel()
+            group.timer = None
+        if not group.jobs:  # window elapsed on an already-drained group
+            del self._groups[gkey]
+            return
+        batch, group.jobs = group.jobs[: self.max_batch], group.jobs[self.max_batch:]
+        if group.jobs:  # overflow keeps flowing without a fresh window
+            group.timer = asyncio.get_running_loop().call_later(
+                0, self._flush, gkey
+            )
+        else:
+            # Drained groups are dropped so an idle group's pipeline
+            # reference lives only in the (bounded) pipeline LRU.
+            del self._groups[gkey]
+        task = asyncio.get_running_loop().create_task(
+            self._dispatch(group.pipeline, batch)
+        )
+        self._dispatch_tasks.add(task)
+        task.add_done_callback(self._dispatch_tasks.discard)
+
+    def _finish(self, job: _Job, outcome) -> None:
+        self._pending -= 1
+        self._m_queue_depth.set(self._pending)
+        if job.future.done():  # client went away (connection dropped)
+            return
+        if isinstance(outcome, BaseException):
+            job.future.set_exception(outcome)
+        else:
+            job.future.set_result(outcome)
+
+    async def _dispatch(self, pipe: Pipeline, batch: list[_Job]) -> None:
+        now = self.clock()
+        live: list[_Job] = []
+        for job in batch:
+            if job.deadline is not None and now > job.deadline:
+                self._m_rejected.inc(label="deadline_queued")
+                self._finish(
+                    job,
+                    DeadlineExceededError(
+                        f"deadline passed after {now - job.enqueued:.3f}s in queue"
+                    ),
+                )
+            else:
+                live.append(job)
+        if not live:
+            return
+        # Coalesce: one computation per distinct work identity.
+        order: list[tuple] = []
+        members: dict[tuple, list[_Job]] = {}
+        for job in live:
+            key = job.request.work_key()
+            if key not in members:
+                members[key] = []
+                order.append(key)
+            members[key].append(job)
+        unique = [members[key][0].request for key in order]
+        loop = asyncio.get_running_loop()
+        t0 = self.clock()
+
+        def compute() -> list[PipelineResult]:
+            graphs = [req.graph.build() for req in unique]
+            if any(req.mu is not None for req in unique):
+                # Supplied-mapping (enhance) requests cannot ride
+                # run_batch's seeds-only signature; the session caches
+                # still amortize across the loop.
+                return [
+                    pipe.run(ga, mu=req.mu, seed=req.seed)
+                    for ga, req in zip(graphs, unique)
+                ]
+            return pipe.run_batch(
+                graphs, seeds=[req.seed for req in unique], jobs=self.jobs
+            )
+
+        try:
+            results = await loop.run_in_executor(self._executor, compute)
+            error: BaseException | None = None
+        except BaseException as exc:
+            results, error = [], exc
+        compute_s = self.clock() - t0
+        done = self.clock()
+        self._m_batches.inc()
+        self._m_batch_size.observe(len(live))
+        self._m_batch_unique.observe(len(unique))
+        self._m_coalesced.inc(len(live) - len(unique))
+        self._m_compute_s.observe(compute_s)
+        for i, key in enumerate(order):
+            for j, job in enumerate(members[key]):
+                self._m_queue_s.observe(t0 - job.enqueued)
+                if error is not None:
+                    self._finish(job, error)
+                elif job.deadline is not None and done > job.deadline:
+                    self._m_rejected.inc(label="deadline_compute")
+                    self._finish(
+                        job,
+                        DeadlineExceededError(
+                            f"deadline passed during a {compute_s:.3f}s batch"
+                        ),
+                    )
+                else:
+                    self._finish(
+                        job,
+                        ServedResult(
+                            result=results[i],
+                            batch_size=len(live),
+                            batch_unique=len(unique),
+                            coalesced=j > 0,
+                            queue_seconds=t0 - job.enqueued,
+                            compute_seconds=compute_s,
+                        ),
+                    )

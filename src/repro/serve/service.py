@@ -1,0 +1,637 @@
+"""JSON-over-HTTP (and JSON-lines stdio) front end for the pipeline.
+
+One long-lived process serves TIMER's whole chain against a fixed set of
+topologies, amortizing labelings, distance matrices and batch dispatch
+across requests (the ROADMAP's "heavy traffic" shape).  Everything is
+stdlib ``asyncio`` -- no web framework -- because the protocol is five
+endpoints and the hot path is the scheduler, not the parser:
+
+- ``POST /map``      -- partition + initial mapping (+ enhance) of one
+  application graph; body documented in ``docs/serving.md``.
+- ``POST /enhance``  -- run the enhance stage on a supplied mapping.
+- ``POST /batch``    -- a list of map/enhance payloads submitted
+  concurrently, so they share one batching window by construction.
+- ``GET  /healthz``  -- liveness + queue depth + served topologies.
+- ``GET  /metrics``  -- Prometheus text; ``?format=json`` for the JSON
+  schema the benchmarks consume.
+
+The stdio mode (``repro serve --stdio``) speaks the same request bodies
+as newline-delimited JSON with an ``op`` field, for embedding the
+service under a supervisor or over SSH without opening a port.
+
+Server-side request validation is hook-based: the service registers the
+``serve-admissible`` verify hook (graph-size admission limit) in the
+unified registry and prepends it to every request's ``pre_verify``
+chain, alongside a parse-time fast check so oversized inline graphs are
+rejected before they are ever built.  The standard ``mapping-valid``
+hook runs post-run on every served result.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+import threading
+import traceback
+from dataclasses import dataclass
+from functools import partial
+from urllib.parse import parse_qs, urlsplit
+
+import numpy as np
+
+from repro.api.pipeline import PipelineConfig
+from repro.api.registry import REGISTRY, TOPOLOGY, VERIFY
+from repro.core.config import TimerConfig
+from repro.errors import MappingError, ReproError
+from repro.serve.cache import TopologyCache
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.scheduler import (
+    BatchScheduler,
+    DeadlineExceededError,
+    GraphSpec,
+    MapRequest,
+    QueueFullError,
+    ServedResult,
+)
+
+#: Registry-name prefix of the server-side admission verify hook.  The
+#: unsuffixed name is the no-limit hook; a service with ``--max-n N``
+#: registers (and references in its configs) ``serve-admissible-N``, so
+#: the name *encodes* the limit: two services in one process can hold
+#: different limits without clobbering each other's registration, and
+#: re-registering the same name is idempotent.
+ADMISSION_HOOK = "serve-admissible"
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    504: "Gateway Timeout",
+}
+
+#: Hard cap on request body bytes (inline edge lists can be large, but a
+#: serving process must bound what it buffers per connection).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+#: Hard cap on accumulated request-header bytes per request; a client
+#: streaming endless header lines must hit a 400, not grow the dict.
+MAX_HEADER_BYTES = 64 * 1024
+
+
+def register_admission_hook(max_graph_n: int | None) -> str:
+    """Register the admission verify hook for ``max_graph_n``; return its name.
+
+    The hook enforces the service's graph-size admission limit *inside*
+    the pipeline, so it also covers library users who borrow the served
+    config; the service additionally rejects oversized specs at parse
+    time to keep a poisoned request from failing its batch neighbors.
+    The registered name encodes the limit (see :data:`ADMISSION_HOOK`),
+    keeping the name -> behavior mapping deterministic however many
+    services a process hosts.
+    """
+    name = (
+        ADMISSION_HOOK if max_graph_n is None
+        else f"{ADMISSION_HOOK}-{int(max_graph_n)}"
+    )
+
+    def hook(ctx) -> None:
+        if max_graph_n is not None and ctx.ga.n > max_graph_n:
+            raise MappingError(
+                f"graph has {ctx.ga.n} vertices; this server admits at "
+                f"most {max_graph_n}"
+            )
+
+    REGISTRY.register(VERIFY, name, hook, overwrite=True)
+    return name
+
+
+register_admission_hook(None)
+
+
+# ----------------------------------------------------------------------
+# Wire parsing
+# ----------------------------------------------------------------------
+_CONFIG_KEYS = {
+    "partition", "initial_mapping", "case", "enhance", "epsilon",
+    "seed_policy", "nh", "n_hierarchies", "strategy", "swap_strategy",
+    "verify", "report",
+}
+
+
+def parse_config(
+    payload: dict | None, admission_hook: str = ADMISSION_HOOK
+) -> PipelineConfig:
+    """Wire config dict -> :class:`PipelineConfig` (CLI flag spellings).
+
+    The parsed config always carries the server's verify chain: the
+    admission hook pre-run and ``mapping-valid`` (plus any requested
+    hooks) post-run.
+    """
+    payload = dict(payload or {})
+    unknown = sorted(set(payload) - _CONFIG_KEYS)
+    if unknown:
+        raise ReproError(
+            f"unknown config keys {unknown}; known: {sorted(_CONFIG_KEYS)}"
+        )
+    verify = tuple(payload.get("verify", ()))
+    reports = tuple(payload.get("report", ()))
+    nh = int(payload.get("nh", payload.get("n_hierarchies", 8)))
+    strategy = str(payload.get("strategy", payload.get("swap_strategy", "greedy")))
+    return PipelineConfig(
+        partition=str(payload.get("partition", "kway")),
+        initial_mapping=str(payload.get("initial_mapping", payload.get("case", "c2"))),
+        enhance=str(payload.get("enhance", "timer")),
+        epsilon=float(payload.get("epsilon", 0.03)),
+        seed_policy=str(payload.get("seed_policy", "stream")),
+        timer=TimerConfig(n_hierarchies=nh, swap_strategy=strategy),
+        pre_verify=(admission_hook,),
+        post_verify=("mapping-valid",) + verify,
+        reports=reports,
+    )
+
+
+def parse_request(
+    payload: dict,
+    *,
+    require_mu: bool = False,
+    max_graph_n: int | None = None,
+    admission_hook: str = ADMISSION_HOOK,
+    default_deadline_s: float | None = None,
+) -> MapRequest:
+    """One wire body -> a validated :class:`MapRequest` (raises ReproError)."""
+    if not isinstance(payload, dict):
+        raise ReproError(f"request body must be a JSON object, got {payload!r}")
+    known = {"topology", "graph", "config", "seed", "mu", "deadline_s", "op", "id"}
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise ReproError(f"unknown request keys {unknown}; known: {sorted(known)}")
+    if "topology" not in payload:
+        raise ReproError("request needs a 'topology'")
+    spec = GraphSpec.from_wire(payload.get("graph", {}))
+    if max_graph_n is not None:
+        approx_n = spec.n if spec.kind == "edges" else spec.n_max
+        if approx_n is not None and approx_n > max_graph_n:
+            raise ReproError(
+                f"graph spec allows {approx_n} vertices; this server admits "
+                f"at most {max_graph_n}"
+            )
+    seed = payload.get("seed")
+    if seed is not None:
+        seed = int(seed)
+    mu = payload.get("mu")
+    if require_mu and mu is None:
+        raise ReproError("enhance requests need a 'mu' mapping array")
+    if mu is not None:
+        mu = np.asarray([int(x) for x in mu], dtype=np.int64)
+    deadline_s = payload.get("deadline_s", default_deadline_s)
+    if deadline_s is not None:
+        deadline_s = float(deadline_s)
+        if deadline_s <= 0:
+            raise ReproError(f"deadline_s must be positive, got {deadline_s}")
+    return MapRequest(
+        topology=str(payload["topology"]),
+        graph=spec,
+        config=parse_config(payload.get("config"), admission_hook),
+        seed=seed,
+        mu=mu,
+        deadline_s=deadline_s,
+    )
+
+
+# ----------------------------------------------------------------------
+# The service (transport-independent op handling)
+# ----------------------------------------------------------------------
+class MappingService:
+    """Routes parsed operations through one :class:`BatchScheduler`."""
+
+    def __init__(
+        self,
+        scheduler: BatchScheduler,
+        *,
+        max_graph_n: int | None = None,
+    ) -> None:
+        self.scheduler = scheduler
+        self.metrics = scheduler.metrics
+        self.max_graph_n = max_graph_n
+        self.admission_hook = register_admission_hook(max_graph_n)
+        self._m_responses = self.metrics.counter(
+            "responses_total", "responses sent, by status code"
+        )
+
+    async def handle(self, op: str, payload: dict) -> tuple[int, dict | str, dict]:
+        """Dispatch one operation -> ``(status, body, extra_headers)``."""
+        try:
+            if op == "healthz":
+                return 200, self._healthz(), {}
+            if op == "metrics":
+                fmt = (payload or {}).get("format", "text")
+                extra = self._metrics_extra()
+                if fmt == "json":
+                    return 200, self.metrics.render_json(extra=extra), {}
+                return 200, self.metrics.render_prometheus(extra=extra), {}
+            if op in ("map", "enhance"):
+                request = parse_request(
+                    payload,
+                    require_mu=(op == "enhance"),
+                    max_graph_n=self.max_graph_n,
+                    admission_hook=self.admission_hook,
+                )
+                served = await self.scheduler.submit(request)
+                return 200, result_body(served), {}
+            if op == "batch":
+                return await self._handle_batch(payload)
+            return 404, {"ok": False, "error": "not_found",
+                         "message": f"unknown operation {op!r}"}, {}
+        except QueueFullError as exc:
+            body = {"ok": False, "error": "queue_full", "message": str(exc),
+                    "retry_after_s": exc.retry_after}
+            return 429, body, {"Retry-After": f"{exc.retry_after:.3f}"}
+        except DeadlineExceededError as exc:
+            return 504, {"ok": False, "error": "deadline_exceeded",
+                         "message": str(exc)}, {}
+        except (ReproError, ValueError, KeyError, TypeError) as exc:
+            return 400, {"ok": False, "error": "bad_request",
+                         "message": str(exc)}, {}
+        except Exception as exc:  # pragma: no cover - defensive
+            traceback.print_exc(file=sys.stderr)
+            return 500, {"ok": False, "error": "internal",
+                         "message": f"{type(exc).__name__}: {exc}"}, {}
+
+    async def _handle_batch(self, payload: dict) -> tuple[int, dict, dict]:
+        requests = (payload or {}).get("requests")
+        if not isinstance(requests, list) or not requests:
+            raise ReproError("batch body needs a non-empty 'requests' list")
+        if not all(isinstance(item, dict) for item in requests):
+            # Rejected before anything is submitted: one malformed item
+            # must not waste its siblings' computation.
+            raise ReproError("every 'requests' entry must be a JSON object")
+        # Submitted concurrently, so the whole batch shares one window.
+        outcomes = await asyncio.gather(
+            *(
+                self.handle(str(item.get("op", "map")), item)
+                for item in requests
+            ),
+        )
+        results = []
+        for (status, body, _headers), item in zip(outcomes, requests):
+            if isinstance(body, dict) and "id" in item:
+                body = {**body, "id": item["id"]}
+            # "status_code", like the stdio wrapper: a healthz body's own
+            # "status": "ok" must not shadow the integer code.
+            results.append(
+                {"status_code": status, **(body if isinstance(body, dict)
+                                           else {"body": body})}
+            )
+        return 200, {"ok": True, "results": results}, {}
+
+    def _healthz(self) -> dict:
+        return {
+            "status": "ok",
+            "uptime_seconds": self.metrics.uptime_seconds,
+            "pending": self.scheduler.pending,
+            "topologies": list(REGISTRY.names(TOPOLOGY)),
+            "cache": self.scheduler.cache.stats(),
+        }
+
+    def _metrics_extra(self) -> dict:
+        stats = self.scheduler.cache.stats()
+        return {
+            "cache_sessions_size": stats["sessions"]["size"],
+            "cache_sessions_hits": stats["sessions"]["hits"],
+            "cache_sessions_misses": stats["sessions"]["misses"],
+            "cache_sessions_evictions": stats["sessions"]["evictions"],
+            "cache_disk_hits": stats["disk"]["hits"],
+            "cache_disk_misses": stats["disk"]["misses"],
+            "cache_disk_stores": stats["disk"]["stores"],
+            "labelings_computed": stats["labelings_computed"],
+        }
+
+    def record_response(self, status: int) -> None:
+        self._m_responses.inc(label=str(status))
+
+
+def result_body(served: ServedResult) -> dict:
+    """The documented response body of a successful map/enhance."""
+    res = served.result
+    return {
+        "ok": True,
+        "graph": res.graph,
+        "topology": res.topology,
+        "seed": res.seed,
+        "mu": [int(x) for x in res.mu_final],
+        "metrics": res.metrics,
+        "reports": res.reports,
+        "identity_hash": res.identity_hash,
+        "batch": {
+            "size": served.batch_size,
+            "unique": served.batch_unique,
+            "coalesced": served.coalesced,
+            "queue_seconds": served.queue_seconds,
+            "compute_seconds": served.compute_seconds,
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# HTTP transport
+# ----------------------------------------------------------------------
+_ROUTES = {
+    ("POST", "/map"): "map",
+    ("POST", "/enhance"): "enhance",
+    ("POST", "/batch"): "batch",
+    ("GET", "/healthz"): "healthz",
+    ("GET", "/metrics"): "metrics",
+}
+
+
+async def _read_http_request(reader: asyncio.StreamReader):
+    """Parse one HTTP/1.1 request; ``None`` on a cleanly closed socket."""
+    line = await reader.readline()
+    if not line:
+        return None
+    try:
+        method, target, _version = line.decode("latin-1").split()
+    except ValueError:
+        raise ReproError(f"malformed request line {line!r}")
+    headers: dict[str, str] = {}
+    header_bytes = 0
+    while True:
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        header_bytes += len(raw)
+        if header_bytes > MAX_HEADER_BYTES:
+            raise ReproError(f"request headers exceed {MAX_HEADER_BYTES} bytes")
+        key, _, value = raw.decode("latin-1").partition(":")
+        headers[key.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", 0))
+    if length > MAX_BODY_BYTES:
+        raise ReproError(f"request body of {length} bytes exceeds the limit")
+    body = await reader.readexactly(length) if length else b""
+    return method.upper(), target, headers, body
+
+
+def _http_response(
+    status: int, body: dict | str, extra_headers: dict | None = None
+) -> bytes:
+    if isinstance(body, str):
+        payload = body.encode("utf-8")
+        ctype = "text/plain; version=0.0.4; charset=utf-8"
+    else:
+        payload = (json.dumps(body) + "\n").encode("utf-8")
+        ctype = "application/json"
+    head = [f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}"]
+    head.append(f"Content-Type: {ctype}")
+    head.append(f"Content-Length: {len(payload)}")
+    for key, value in (extra_headers or {}).items():
+        head.append(f"{key}: {value}")
+    return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + payload
+
+
+async def handle_http_connection(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    service: MappingService,
+) -> None:
+    """Keep-alive request loop for one client connection."""
+    try:
+        while True:
+            try:
+                parsed = await _read_http_request(reader)
+            except (ReproError, asyncio.IncompleteReadError, ValueError):
+                writer.write(_http_response(
+                    400, {"ok": False, "error": "bad_request",
+                          "message": "malformed HTTP request"}))
+                break
+            if parsed is None:
+                break
+            method, target, headers, raw_body = parsed
+            url = urlsplit(target)
+            op = _ROUTES.get((method, url.path))
+            if op is None:
+                known_path = any(p == url.path for (_m, p) in _ROUTES)
+                status, body, extra = (405 if known_path else 404), {
+                    "ok": False,
+                    "error": "method_not_allowed" if known_path else "not_found",
+                    "message": f"no route for {method} {url.path}",
+                }, {}
+            else:
+                try:
+                    payload = json.loads(raw_body) if raw_body else {}
+                except json.JSONDecodeError as exc:
+                    payload, op = None, None
+                    status, body, extra = 400, {
+                        "ok": False, "error": "bad_request",
+                        "message": f"invalid JSON body: {exc}"}, {}
+                if op is not None:
+                    query = {k: v[0] for k, v in parse_qs(url.query).items()}
+                    if op == "metrics" and query:
+                        payload = {**(payload or {}), **query}
+                    status, body, extra = await service.handle(op, payload)
+            service.record_response(status)
+            writer.write(_http_response(status, body, extra))
+            await writer.drain()
+            if headers.get("connection", "keep-alive").lower() == "close":
+                break
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+
+
+# ----------------------------------------------------------------------
+# stdio transport (JSON lines)
+# ----------------------------------------------------------------------
+async def serve_stdio(
+    service: MappingService,
+    reader: asyncio.StreamReader,
+    write_line,
+) -> None:
+    """One JSON request per input line, one JSON response line each.
+
+    Requests carry ``{"op": "map" | "enhance" | "batch" | "healthz" |
+    "metrics", "id": <echoed>, ...body}``; ``op`` defaults to ``map``.
+    Lines are processed strictly in order (each awaited before the next
+    is read), so embedders that want window batching send one ``op:
+    batch`` line rather than many concurrent lines.
+    """
+    while True:
+        raw = await reader.readline()
+        if not raw:
+            return
+        line = raw.decode("utf-8").strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            write_line(json.dumps({"ok": False, "error": "bad_request",
+                                   "message": f"invalid JSON: {exc}"}))
+            continue
+        if not isinstance(payload, dict):
+            write_line(json.dumps({"ok": False, "error": "bad_request",
+                                   "message": "request line must be a JSON "
+                                   "object"}))
+            continue
+        op = str(payload.get("op", "map"))
+        status, body, _headers = await service.handle(op, payload)
+        if isinstance(body, str):
+            body = {"ok": status == 200, "text": body}
+        if isinstance(payload, dict) and "id" in payload:
+            body = {**body, "id": payload["id"]}
+        service.record_response(status)
+        # "status_code", not "status": healthz bodies carry their own
+        # "status": "ok" field which must survive the wrapping.
+        write_line(json.dumps({"status_code": status, **body}))
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+@dataclass
+class ServeSettings:
+    """Everything ``repro serve`` configures (defaults match the CLI)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    window_ms: float = 25.0
+    max_batch: int = 16
+    max_queue: int = 256
+    jobs: int = 1
+    max_sessions: int | None = None
+    labeling_cache: str | None = None
+    max_graph_n: int | None = None
+    warm: tuple[str, ...] = ()
+    stdio: bool = False
+
+
+def build_service(settings: ServeSettings) -> MappingService:
+    cache = TopologyCache(
+        max_sessions=settings.max_sessions, disk_dir=settings.labeling_cache
+    )
+    if settings.warm:
+        cache.warm(settings.warm)
+    scheduler = BatchScheduler(
+        window_s=settings.window_ms / 1000.0,
+        max_batch=settings.max_batch,
+        max_queue=settings.max_queue,
+        jobs=settings.jobs,
+        cache=cache,
+        metrics=MetricsRegistry(),
+    )
+    return MappingService(scheduler, max_graph_n=settings.max_graph_n)
+
+
+async def _amain(settings: ServeSettings) -> int:
+    service = build_service(settings)
+    try:
+        if settings.stdio:
+            loop = asyncio.get_running_loop()
+            reader = asyncio.StreamReader()
+            await loop.connect_read_pipe(
+                lambda: asyncio.StreamReaderProtocol(reader), sys.stdin
+            )
+
+            def write_line(text: str) -> None:
+                sys.stdout.write(text + "\n")
+                sys.stdout.flush()
+
+            print("repro serve: stdio mode, one JSON request per line",
+                  file=sys.stderr)
+            await serve_stdio(service, reader, write_line)
+            return 0
+        server = await asyncio.start_server(
+            partial(handle_http_connection, service=service),
+            settings.host,
+            settings.port,
+        )
+        bound = server.sockets[0].getsockname()
+        print(f"repro serve: listening on http://{bound[0]}:{bound[1]} "
+              f"(window {settings.window_ms:g}ms, max_batch "
+              f"{settings.max_batch}, max_queue {settings.max_queue}, "
+              f"jobs {settings.jobs})", file=sys.stderr, flush=True)
+        async with server:
+            await server.serve_forever()
+        return 0
+    finally:
+        service.scheduler.close()
+
+
+def run_server(settings: ServeSettings) -> int:
+    """Blocking entry point used by ``python -m repro serve``."""
+    try:
+        return asyncio.run(_amain(settings))
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        return 0
+
+
+class ServerThread:
+    """An in-process HTTP server on an ephemeral port (tests, benches).
+
+    Context manager: ``with ServerThread(settings) as srv:`` exposes
+    ``srv.host`` / ``srv.port`` / ``srv.url`` while a private event loop
+    runs the service in a daemon thread; exit stops the loop and closes
+    the scheduler.
+    """
+
+    def __init__(self, settings: ServeSettings | None = None) -> None:
+        self.settings = settings or ServeSettings(port=0)
+        self.host = self.settings.host
+        self.port: int | None = None
+        self.service: MappingService | None = None
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._startup_error: BaseException | None = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def _run(self) -> None:
+        async def main() -> None:
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            try:
+                self.service = build_service(self.settings)
+                server = await asyncio.start_server(
+                    partial(handle_http_connection, service=self.service),
+                    self.settings.host,
+                    self.settings.port,
+                )
+            except BaseException as exc:
+                self._startup_error = exc
+                self._ready.set()
+                raise
+            self.port = server.sockets[0].getsockname()[1]
+            self._ready.set()
+            try:
+                async with server:
+                    await self._stop.wait()
+            finally:
+                self.service.scheduler.close()
+
+        asyncio.run(main())
+
+    def __enter__(self) -> "ServerThread":
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("server thread failed to start in 30s")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"server thread failed to start: {self._startup_error}"
+            )
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30)

@@ -347,6 +347,43 @@ def label_sort_keys(labels: np.ndarray) -> np.ndarray:
     return np.ascontiguousarray(be).view(np.dtype((np.void, 8 * W))).ravel()
 
 
+#: Wide label arrays at or above this many rows argsort via the
+#: word-column radix path (np.lexsort); below it the generic void-key
+#: argsort wins on constant factors.  Tuned on the bench_micro workload.
+RADIX_SORT_THRESHOLD = 256
+
+#: The radix path pays one full stable sort pass per word, while the
+#: void path's memcmp usually exits on the first differing byte, so
+#: lexsort only wins while the pass count stays small (measured: ~1.2 -
+#: 2.3x faster at W <= 2, ~0.7x at W = 4 across n = 256 .. 5e5).
+RADIX_SORT_MAX_WORDS = 2
+
+
+def argsort_labels(labels: np.ndarray) -> np.ndarray:
+    """Stable argsort of a label array in numeric bitvector order.
+
+    Narrow labels use numpy's integer sort directly.  Wide labels order
+    by their big-endian byte keys (:func:`label_sort_keys`); at or above
+    :data:`RADIX_SORT_THRESHOLD` rows with at most
+    :data:`RADIX_SORT_MAX_WORDS` words the memcmp-based void argsort is
+    replaced by a radix-style pass -- ``np.lexsort`` over the word
+    columns, least significant first, which runs one fast integer sort
+    per word instead of ``O(n log n)`` multi-byte comparisons.  All
+    paths are stable, so they produce the identical permutation.
+    """
+    labels = np.asarray(labels)
+    if labels.ndim == 1:
+        return np.argsort(labels, kind="stable")
+    if (
+        labels.shape[0] >= RADIX_SORT_THRESHOLD
+        and labels.shape[1] <= RADIX_SORT_MAX_WORDS
+    ):
+        # lexsort keys run least- to most-significant; word W-1 is the
+        # most significant, so the columns go in natural word order.
+        return np.lexsort(labels.T)
+    return np.argsort(label_sort_keys(labels), kind="stable")
+
+
 def labels_equal_rows(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Elementwise label equality -> 1-D bool (row-wise for wide)."""
     a, b = np.asarray(a), np.asarray(b)

@@ -1,5 +1,7 @@
 """Cross-process labeling disk cache (REPRO_LABELING_CACHE)."""
 
+import io
+
 import numpy as np
 import pytest
 
@@ -93,6 +95,55 @@ class TestCacheKey:
         )
         run_experiment(config, store=tmp_path / "cells")
         assert list((tmp_path / "cells" / "labelings").glob("*.npz"))
+
+class TestCompression:
+    def test_entries_are_compressed(self, cache_dir):
+        # fattree4x3: 84 classes, cut_edges carry O(n) int64 pairs per
+        # class -- exactly the payload compression targets.
+        t = Topology.from_name("fattree4x3")
+        pc = t.labeling
+        path = next(cache_dir.glob("*.npz"))
+        compressed = path.stat().st_size
+        raw = io.BytesIO()
+        flat = np.concatenate([np.asarray(c) for c in pc.cut_edges])
+        splits = np.cumsum([c.shape[0] for c in pc.cut_edges])[:-1]
+        np.savez(raw, labels=pc.labels, dim=np.int64(pc.dim), cut_edges=flat,
+                 cut_splits=np.asarray(splits, dtype=np.int64))
+        assert compressed < 0.5 * raw.getbuffer().nbytes
+
+    def test_legacy_uncompressed_entries_still_read(self, cache_dir, monkeypatch):
+        t = Topology.from_name("fattree4x3")
+        pc = t.labeling
+        # Rewrite the cache file the way pre-compression code did.
+        path = next(cache_dir.glob("*.npz"))
+        flat = np.concatenate([np.asarray(c) for c in pc.cut_edges])
+        splits = np.cumsum([c.shape[0] for c in pc.cut_edges])[:-1]
+        with open(path, "wb") as f:
+            np.savez(f, labels=pc.labels, dim=np.int64(pc.dim), cut_edges=flat,
+                     cut_splits=np.asarray(splits, dtype=np.int64))
+        Topology.clear_sessions()
+        monkeypatch.setattr(
+            topo_mod,
+            "partial_cube_labeling",
+            lambda g: (_ for _ in ()).throw(AssertionError("recomputed")),
+        )
+        pc2 = Topology.from_name("fattree4x3").labeling
+        assert np.array_equal(pc.labels, pc2.labels)
+        for a, b in zip(pc.cut_edges, pc2.cut_edges):
+            assert np.array_equal(a, b)
+
+
+class TestStats:
+    def test_disk_traffic_counters(self, cache_dir):
+        from repro.api.topology import labeling_stats
+
+        base = labeling_stats()
+        Topology.from_name("grid4x4").labeling  # compute + store
+        Topology.clear_sessions()
+        Topology.from_name("grid4x4").labeling  # disk hit
+        delta = {k: v - base[k] for k, v in labeling_stats().items()}
+        assert delta == {"computed": 1, "disk_hits": 1, "disk_misses": 1,
+                         "disk_stores": 1}
 
     def test_corrupt_zip_magic_degrades_to_recompute(self, cache_dir):
         # Zip magic but truncated body: np.load raises BadZipFile, which

@@ -240,3 +240,43 @@ class TestWideTopologyEndToEnd:
             np.bincount(values, minlength=255),
             np.bincount(enhanced, minlength=255),
         )  # TIMER preserves per-PE block sizes exactly
+
+
+class TestServeLoadgenCommands:
+    """The serving subcommands: parsing, and loadgen against a live server."""
+
+    def test_serve_flags_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--window-ms", "10", "--max-batch", "4",
+             "--max-sessions", "2", "--warm", "grid4x4", "--stdio"]
+        )
+        assert args.window_ms == 10.0 and args.stdio
+        assert args.warm == ["grid4x4"]
+
+    def test_loadgen_against_live_server(self, tmp_path, capsys):
+        from repro.api.topology import Topology, session_cache
+        from repro.serve.service import ServeSettings, ServerThread
+
+        limit = session_cache().max_sessions
+        out = tmp_path / "loadgen.json"
+        try:
+            with ServerThread(
+                ServeSettings(port=0, window_ms=10, max_batch=8)
+            ) as srv:
+                rc = main(
+                    ["loadgen", srv.url, "--requests", "6", "--rate", "200",
+                     "--nh", "1", "--seed-pool", "1", "--out", str(out)]
+                )
+        finally:
+            session_cache().set_limit(limit)
+            Topology.clear_sessions()
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "6/6 ok" in err
+        import json
+
+        report = json.loads(out.read_text())
+        assert report["ok"] == 6
+        assert report["latency"]["p95"] > 0

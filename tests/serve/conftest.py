@@ -1,0 +1,16 @@
+"""Shared fixtures: the serve layer configures process-wide caches, so
+every test restores the session LRU's limit and contents."""
+
+import pytest
+
+from repro.api.topology import Topology, session_cache
+
+
+@pytest.fixture(autouse=True)
+def isolated_sessions():
+    cache = session_cache()
+    limit = cache.max_sessions
+    Topology.clear_sessions()
+    yield
+    cache.set_limit(limit)
+    Topology.clear_sessions()

@@ -1,0 +1,90 @@
+"""Two-tier topology cache: LRU sharing, eviction, disk fallback."""
+
+from repro.api.topology import (
+    LABELING_CACHE_ENV,
+    Topology,
+    labeling_stats,
+    session_cache,
+)
+from repro.serve.cache import TopologyCache
+
+
+class TestSingleSourceOfTruth:
+    def test_lru_is_the_from_name_cache(self):
+        cache = TopologyCache()
+        assert cache.sessions is session_cache()
+        t1 = cache.get("grid4x4")
+        t2 = Topology.from_name("grid4x4")
+        assert t1 is t2  # one session object, no double-caching
+
+    def test_labeling_computed_once_across_both_entry_points(self):
+        base = labeling_stats()["computed"]
+        cache = TopologyCache()
+        cache.get("grid4x4").labeling
+        Topology.from_name("grid4x4").labeling
+        cache.get("grid4x4").labeling
+        assert labeling_stats()["computed"] - base == 1
+
+
+class TestLRUBounds:
+    def test_eviction_order_and_counters(self):
+        cache = TopologyCache(max_sessions=2)
+        cache.get("grid4x4")
+        cache.get("hq4")
+        cache.get("grid4x4")  # refresh: hq4 is now least recent
+        cache.get("dragonfly4x2")  # evicts hq4
+        sessions = cache.sessions
+        assert "grid4x4" in sessions and "dragonfly4x2" in sessions
+        assert "hq4" not in sessions
+        stats = cache.stats()["sessions"]
+        assert stats["evictions"] == 1
+        assert stats["size"] == 2 and stats["limit"] == 2
+        assert stats["hits"] >= 1 and stats["misses"] >= 3
+
+    def test_default_construction_keeps_the_operator_limit(self):
+        TopologyCache(max_sessions=3)
+        TopologyCache()  # e.g. BatchScheduler's default cache argument
+        assert session_cache().max_sessions == 3
+        TopologyCache(max_sessions=None)  # explicit None = unbounded
+        assert session_cache().max_sessions is None
+
+    def test_shrinking_limit_evicts_now(self):
+        cache = TopologyCache()
+        cache.get("grid4x4")
+        cache.get("hq4")
+        cache.sessions.set_limit(1)
+        assert len(cache.sessions) == 1
+        assert "hq4" in cache.sessions  # most recent survives
+
+    def test_eviction_falls_back_to_disk_not_recompute(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(LABELING_CACHE_ENV, str(tmp_path / "labelings"))
+        cache = TopologyCache(max_sessions=1)
+        base = labeling_stats()
+        cache.get("grid4x4").labeling  # computed + stored to disk
+        cache.get("hq4").labeling  # evicts grid4x4's session
+        cache.get("grid4x4").labeling  # rebuilt session, disk tier hit
+        delta = cache.stats()
+        assert labeling_stats()["computed"] - base["computed"] == 2
+        assert delta["disk"]["hits"] >= 1
+        assert delta["disk"]["stores"] >= 2
+
+
+class TestSpecResolution:
+    def test_file_topologies_bypass_the_name_cache(self, tmp_path):
+        from repro.graphs import generators as gen
+        from repro.graphs.io import write_metis
+
+        path = tmp_path / "ring.graph"
+        write_metis(gen.cycle(8), path)
+        cache = TopologyCache()
+        t1 = cache.get(str(path))
+        t2 = cache.get(str(path))
+        assert t1 is not t2  # files re-read, never cached by spelling
+        assert str(path) not in cache.sessions
+
+    def test_warm_precomputes(self):
+        cache = TopologyCache()
+        base = labeling_stats()["computed"]
+        cache.warm(["grid4x4", "hq4"])
+        assert labeling_stats()["computed"] - base == 2
+        assert cache.get("grid4x4")._labeling is not None

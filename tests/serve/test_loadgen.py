@@ -1,0 +1,88 @@
+"""Load generator: determinism, mix shape, end-to-end in-process runs."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve.loadgen import (
+    LoadProfile,
+    build_catalog,
+    plan_requests,
+    run_load,
+)
+from repro.serve.scheduler import BatchScheduler
+from repro.serve.service import MappingService, register_admission_hook
+
+
+class TestPlanDeterminism:
+    def test_same_profile_same_plan(self):
+        p = LoadProfile(requests=20, seed=7)
+        assert plan_requests(p) == plan_requests(p)
+
+    def test_different_seed_different_plan(self):
+        a = plan_requests(LoadProfile(requests=20, seed=0))
+        b = plan_requests(LoadProfile(requests=20, seed=1))
+        assert a != b
+
+    def test_arrivals_are_open_loop_increasing(self):
+        offsets = [t for t, _ in plan_requests(LoadProfile(requests=50, seed=0))]
+        assert offsets == sorted(offsets)
+        assert offsets[0] > 0
+        # mean inter-arrival ~ 1/rate
+        mean_gap = offsets[-1] / len(offsets)
+        assert 0.2 / 40.0 < mean_gap < 5.0 / 40.0
+
+
+class TestCatalogAndMix:
+    def test_catalog_spans_the_scenario(self):
+        profile = LoadProfile(scenario="smoke", seed_pool=2)
+        catalog = build_catalog(profile)
+        # smoke: 2 instances x 4 topologies x 2 cases x seed_pool
+        assert len(catalog) == 2 * 4 * 2 * 2
+        topologies = {body["topology"] for body in catalog}
+        assert "fattree4x3" in topologies  # wide-label topology included
+        assert all(body["config"]["nh"] == profile.nh for body in catalog)
+
+    def test_hot_fraction_one_only_hits_hot_keys(self):
+        profile = LoadProfile(requests=40, seed=3, hot_fraction=1.0, hot_keys=2)
+        catalog = build_catalog(profile)
+        hot = [str(body) for body in catalog[:2]]
+        for _t, body in plan_requests(profile):
+            assert str(body) in hot
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LoadProfile(requests=0)
+        with pytest.raises(ConfigurationError):
+            LoadProfile(rate=0)
+        with pytest.raises(ConfigurationError):
+            LoadProfile(hot_fraction=1.5)
+
+    def test_run_load_needs_exactly_one_target(self):
+        with pytest.raises(ConfigurationError):
+            asyncio.run(run_load(LoadProfile()))
+
+
+class TestEndToEnd:
+    def test_in_process_run_produces_full_report(self):
+        scheduler = BatchScheduler(window_s=0.02, max_batch=8)
+        service = MappingService(scheduler)
+        profile = LoadProfile(
+            requests=10, rate=300.0, seed=0, nh=1, hot_fraction=0.8, hot_keys=2
+        )
+        try:
+            report = asyncio.run(run_load(profile, service=service))
+        finally:
+            scheduler.close()
+            register_admission_hook(None)
+        assert report.requests == 10
+        assert report.ok == 10 and not report.errors
+        assert report.throughput_rps > 0
+        assert set(report.latency) >= {"p50", "p95", "p99", "mean", "max"}
+        assert report.batch["mean_size"] >= 1.0
+        # hot-key skew at this rate must produce some amortization
+        assert report.batch["coalesced"] + report.batch["mean_size"] > 1.0
+        payload = report.to_json()
+        assert payload["profile"]["requests"] == 10
+        assert "ok in" in report.render()

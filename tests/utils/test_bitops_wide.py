@@ -11,6 +11,8 @@ from hypothesis import given, settings, strategies as st
 
 from repro.utils.bitops import (
     MAX_LABEL_BITS,
+    RADIX_SORT_THRESHOLD,
+    argsort_labels,
     get_label_bit,
     hamming_labels,
     int_to_label_row,
@@ -186,3 +188,50 @@ class TestRowOps:
         assert label_to_int(wide_mask(128, 2)[None, :], 0) == (1 << 128) - 1
         assert label_to_int(wide_mask(0, 2)[None, :], 0) == 0
         assert MAX_LABEL_BITS == 63
+
+
+class TestArgsortLabels:
+    """The radix-style fast path must equal the void-key stable argsort."""
+
+    def _void_argsort(self, labels):
+        return np.argsort(label_sort_keys(labels), kind="stable")
+
+    @given(wide_values)
+    @settings(max_examples=50, deadline=None)
+    def test_small_arrays_match_void_path(self, values):
+        labels = _as_wide(values)
+        got = argsort_labels(labels)
+        assert np.array_equal(got, self._void_argsort(labels))
+
+    def test_radix_path_matches_void_path_above_threshold(self):
+        rng = np.random.default_rng(0)
+        n = RADIX_SORT_THRESHOLD + 500
+        labels = rng.integers(0, 2**64, size=(n, 2), dtype=np.uint64)
+        # duplicate rows exercise stability: equal keys keep input order
+        labels[n // 2 :] = labels[: n - n // 2]
+        assert np.array_equal(argsort_labels(labels), self._void_argsort(labels))
+
+    def test_many_word_labels_stay_on_the_void_path_correctly(self):
+        rng = np.random.default_rng(2)
+        n = RADIX_SORT_THRESHOLD + 100
+        labels = rng.integers(0, 2**64, size=(n, 4), dtype=np.uint64)
+        assert np.array_equal(argsort_labels(labels), self._void_argsort(labels))
+
+    def test_stability_on_all_equal_labels(self):
+        labels = np.zeros((RADIX_SORT_THRESHOLD + 4, 2), dtype=np.uint64)
+        assert np.array_equal(
+            argsort_labels(labels), np.arange(labels.shape[0])
+        )
+
+    def test_narrow_path(self):
+        labels = np.array([5, 1, 3, 1, 0], dtype=np.int64)
+        assert np.array_equal(
+            argsort_labels(labels), np.argsort(labels, kind="stable")
+        )
+
+    def test_order_is_numeric_bitvector_order(self):
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 2**64, size=(2000, 2), dtype=np.uint64)
+        order = argsort_labels(labels)
+        ints = [label_to_int(labels, v) for v in order]
+        assert ints == sorted(ints)
