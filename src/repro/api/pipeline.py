@@ -404,16 +404,7 @@ class Pipeline:
                 "run_batch(jobs>1) needs picklable seeds (None or ints); "
                 "live numpy Generators cannot cross process boundaries"
             )
-        # Warm the session caches the batch will need *before* the pool
-        # exists: forked workers inherit them (labeling computed exactly
-        # once per batch, same as jobs=1) and spawn workers receive them
-        # pickled inside the topology payload.  Verify/report hooks may
-        # read either cache, so with hooks configured both get warmed.
-        has_hooks = bool(self._pre_verify or self._post_verify or self._reports)
-        if self._enhance is not None or has_hooks:
-            self.topology.labeling
-        if self._enhance is None or has_hooks:
-            self.topology.distances
+        self.warm_caches()
         ctx = preferred_mp_context()
         payload = self._pickle_payload()
         with ctx.Pool(
@@ -422,6 +413,23 @@ class Pipeline:
             initargs=(payload,),
         ) as pool:
             return pool.starmap(_batch_worker_run, zip(graphs, seeds), chunksize=1)
+
+    def warm_caches(self) -> None:
+        """Materialize the session caches this pipeline's stages will read.
+
+        Called before any process boundary (``run_batch(jobs>1)``, the
+        serve tier's supervised pool): forked workers inherit the warmed
+        caches (labeling computed exactly once per batch, same as
+        ``jobs=1``) and spawn workers receive them pickled inside the
+        topology payload -- either way the *parent's* labeling counters
+        account for the work.  Verify/report hooks may read either
+        cache, so with hooks configured both get warmed.
+        """
+        has_hooks = bool(self._pre_verify or self._post_verify or self._reports)
+        if self._enhance is not None or has_hooks:
+            self.topology.labeling
+        if self._enhance is None or has_hooks:
+            self.topology.distances
 
     # -- internals -----------------------------------------------------
     @staticmethod

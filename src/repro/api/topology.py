@@ -44,13 +44,21 @@ from repro.api.registry import REGISTRY, TOPOLOGY
 from repro.errors import ConfigurationError
 from repro.graphs.algorithms import all_pairs_distances
 from repro.graphs.graph import Graph
-from repro.partialcube.djokovic import PartialCubeLabeling, partial_cube_labeling
+from repro.partialcube.djokovic import (
+    PartialCubeLabeling,
+    cut_edges_from_labels,
+    partial_cube_labeling,
+)
 
 #: Environment variable naming the labeling cache directory ("" = off).
 LABELING_CACHE_ENV = "REPRO_LABELING_CACHE"
 
-#: Bumped when the cache file layout changes; part of every cache key.
-_LABELING_CACHE_SCHEMA = 1
+#: Bumped when the cache file layout changes; part of every cache key,
+#: so entries written by older code simply never hit (no migration
+#: reads).  Schema 2 drops the verbatim ``cut_edges`` payload (derived
+#: from the labels on load) and adds a content checksum verified on
+#: every read.
+_LABELING_CACHE_SCHEMA = 2
 
 class SessionLRU:
     """Bounded LRU of named :class:`Topology` sessions, with counters.
@@ -139,7 +147,7 @@ _SESSIONS = SessionLRU()
 
 #: Process-wide labeling-computation tallies (see :func:`labeling_stats`).
 _LABELING_STATS = {"computed": 0, "disk_hits": 0, "disk_misses": 0,
-                   "disk_stores": 0}
+                   "disk_stores": 0, "disk_corrupt": 0}
 
 
 def session_cache() -> SessionLRU:
@@ -310,59 +318,109 @@ def _cache_dir() -> Path | None:
     return Path(root) if root else None
 
 
+def _labeling_checksum(labels: np.ndarray, dim: int) -> np.ndarray:
+    """Content digest of a cache entry, stored alongside the payload.
+
+    Covers the label bytes plus the representation (dtype/shape) and
+    ``dim``, so any bit rot inside the zip members -- which a valid zip
+    container can still carry -- fails verification on read.
+    """
+    h = hashlib.sha256()
+    h.update(str(labels.dtype).encode())
+    h.update(repr(labels.shape).encode())
+    h.update(np.int64(dim).tobytes())
+    h.update(np.ascontiguousarray(labels).tobytes())
+    return np.frombuffer(h.digest(), dtype=np.uint8)
+
+
+def _quarantine_corrupt(path: Path) -> None:
+    """Move a damaged cache entry aside so it is recomputed exactly once.
+
+    The ``.corrupt`` rename keeps the evidence for operators without
+    leaving a poison file that would fail every future read; rename
+    failures fall back to deletion, and both are best-effort.
+    """
+    try:
+        os.replace(path, path.with_suffix(".npz.corrupt"))
+    except OSError:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+    _LABELING_STATS["disk_corrupt"] += 1
+
+
 def _load_cached_labeling(graph: Graph) -> PartialCubeLabeling | None:
-    """Disk-cache lookup; any corruption degrades to a miss."""
+    """Disk-cache lookup; corruption quarantines the entry and misses.
+
+    A missing file is a plain miss.  An unreadable/truncated zip, a
+    checksum mismatch, or labels that do not classify this graph's
+    edges all count as *corrupt*: the entry is quarantined (renamed to
+    ``.corrupt``), the ``disk_corrupt`` counter ticks, and the caller
+    recomputes -- never a crash, never a silently wrong labeling.
+    """
     root = _cache_dir()
     if root is None:
         return None
     path = root / f"{labeling_cache_key(graph)}.npz"
+    if not path.exists():
+        _LABELING_STATS["disk_misses"] += 1
+        return None
     try:
         with np.load(path) as z:
             labels = z["labels"]
             dim = int(z["dim"])
-            flat = z["cut_edges"]
-            splits = z["cut_splits"]
+            checksum = z["checksum"]
     except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile):
         # Truncated zip magic raises BadZipFile, not ValueError; any
         # unreadable file must degrade to a recompute, never a crash.
         _LABELING_STATS["disk_misses"] += 1
+        _quarantine_corrupt(path)
         return None
-    cut_edges = tuple(np.split(flat, splits)) if dim else ()
-    if len(cut_edges) != dim or labels.shape[0] != graph.n:
+    if not np.array_equal(checksum, _labeling_checksum(labels, dim)):
         _LABELING_STATS["disk_misses"] += 1
+        _quarantine_corrupt(path)
+        return None
+    if labels.shape[0] != graph.n:
+        # A verified payload for a different graph: impossible unless
+        # the content-addressed key collided; treat as a plain miss.
+        _LABELING_STATS["disk_misses"] += 1
+        return None
+    us, vs, _ = graph.edge_arrays()
+    try:
+        cut_edges = cut_edges_from_labels(labels, dim, us, vs)
+    except ValueError:
+        _LABELING_STATS["disk_misses"] += 1
+        _quarantine_corrupt(path)
         return None
     _LABELING_STATS["disk_hits"] += 1
     return PartialCubeLabeling(labels=labels, dim=dim, cut_edges=cut_edges)
 
 
 def _store_cached_labeling(graph: Graph, pc: PartialCubeLabeling) -> None:
-    """Atomic cache write (temp + ``os.replace``); failures are silent."""
+    """Atomic cache write (temp + ``os.replace``); failures are silent.
+
+    Since cache schema 2 only ``labels``/``dim``/``checksum`` are
+    stored: ``cut_edges`` is derived data (class ``j`` == edges whose
+    labels differ in bit ``j``) and rebuilding it on load through the
+    recognition path's own assembly is byte-identical and cheaper than
+    storing O(|Ep|) indices per entry.
+    """
     root = _cache_dir()
     if root is None:
         return
     try:
         root.mkdir(parents=True, exist_ok=True)
         path = root / f"{labeling_cache_key(graph)}.npz"
-        if pc.dim:
-            flat = np.concatenate([np.asarray(c) for c in pc.cut_edges])
-            splits = np.cumsum([c.shape[0] for c in pc.cut_edges])[:-1]
-        else:
-            flat = np.empty((0, 2), dtype=np.int64)
-            splits = np.empty(0, dtype=np.int64)
+        labels = np.asarray(pc.labels)
         fd, tmp = tempfile.mkstemp(dir=root, prefix=".labeling-", suffix=".npz.tmp")
         try:
             with os.fdopen(fd, "wb") as f:
-                # Compressed since cache schema 1 stores started carrying
-                # large cut_edges arrays (O(n) edges per class for wide
-                # labelings, highly zlib-friendly index data).  np.load
-                # transparently reads both, so pre-compression entries
-                # written by older code keep hitting.
                 np.savez_compressed(
                     f,
-                    labels=pc.labels,
+                    labels=labels,
                     dim=np.int64(pc.dim),
-                    cut_edges=flat,
-                    cut_splits=np.asarray(splits, dtype=np.int64),
+                    checksum=_labeling_checksum(labels, pc.dim),
                 )
             os.replace(tmp, path)
             _LABELING_STATS["disk_stores"] += 1

@@ -183,6 +183,12 @@ def cmd_serve(args) -> int:
             max_graph_n=args.max_n,
             warm=tuple(args.warm),
             stdio=args.stdio,
+            workers=args.workers,
+            retry_attempts=args.retry_attempts,
+            retry_base_ms=args.retry_base_ms,
+            breaker_threshold=args.breaker_threshold,
+            breaker_reset_s=args.breaker_reset,
+            faults=args.faults,
         )
     )
 
@@ -201,6 +207,7 @@ def cmd_loadgen(args) -> int:
         hot_fraction=args.hot_fraction,
         deadline_s=args.deadline,
         matrix_path=args.matrix,
+        allow_degraded=args.allow_degraded,
     )
     report = generate_load(profile, args.url)
     print(report.render(), file=sys.stderr)
@@ -298,6 +305,23 @@ def build_parser() -> argparse.ArgumentParser:
                    "(repeatable)")
     q.add_argument("--stdio", action="store_true",
                    help="JSON-lines over stdin/stdout instead of HTTP")
+    q.add_argument("--workers", type=int, default=0,
+                   help="supervised worker processes (0 = compute "
+                   "in-process; >0 survives worker crashes)")
+    q.add_argument("--retry-attempts", type=int, default=3,
+                   help="total tries per request on transient failures")
+    q.add_argument("--retry-base-ms", type=float, default=50.0,
+                   help="base backoff delay (doubles per attempt, "
+                   "deterministically jittered)")
+    q.add_argument("--breaker-threshold", type=int, default=5,
+                   help="consecutive failures opening a group's circuit "
+                   "breaker")
+    q.add_argument("--breaker-reset", type=float, default=10.0,
+                   help="seconds an open breaker waits before a "
+                   "half-open probe")
+    q.add_argument("--faults", default=None, metavar="JSON",
+                   help="deterministic fault-injection plan (JSON; "
+                   "overrides REPRO_FAULTS)")
     q.set_defaults(fn=cmd_serve)
 
     q = sub.add_parser("loadgen", help="deterministic open-loop load generator")
@@ -319,6 +343,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="share of traffic on the hot set")
     q.add_argument("--deadline", type=float, default=None,
                    help="per-request deadline in seconds")
+    q.add_argument("--allow-degraded", action="store_true",
+                   help="let the server satisfy requests from the "
+                   "degradation ladder (cached / no-enhance results)")
     q.add_argument("--out", default=None, help="write the JSON report here")
     q.set_defaults(fn=cmd_loadgen)
     return p

@@ -38,3 +38,55 @@ class MappingError(ReproError):
 
 class ConfigurationError(ReproError):
     """Invalid algorithm configuration."""
+
+
+class TransientError(ReproError):
+    """A failure that is expected to clear on retry.
+
+    Worker-process death, cache I/O hiccups, injected chaos faults and
+    load-shedding all land here.  The serving layer maps transients to
+    ``503`` (or ``429`` for admission rejects) with a ``Retry-After``
+    hint; the scheduler's retry policy only ever retries this class --
+    anything else recomputing would just fail again.
+    """
+
+    #: seconds a client should wait before retrying (serve layers may
+    #: override per instance; 0 means "immediately").
+    retry_after: float = 0.0
+
+
+class PermanentError(ReproError):
+    """A failure no retry can fix (maps to HTTP 500).
+
+    Distinguished from plain :class:`ReproError` (client-input problems,
+    HTTP 400): a ``PermanentError`` means the *service* definitively
+    failed this unit of work -- e.g. a poison request that crashes every
+    worker it touches.
+    """
+
+
+class WorkerCrashError(TransientError):
+    """A pool worker died (crash/OOM/kill) while running a task.
+
+    Transient because the supervisor restarts the worker and requeues
+    the work; it only surfaces to callers when the retry budget is
+    spent without isolating a poison item.
+    """
+
+
+class PoisonRequestError(PermanentError):
+    """One isolated work item repeatedly crashed its worker.
+
+    Produced by the supervised pool's bisection: after a batch crash is
+    narrowed down to a single item that still kills a fresh worker, that
+    item is failed permanently (HTTP 500) so the rest of the batch can
+    succeed.
+    """
+
+
+class CircuitOpenError(TransientError):
+    """A group's circuit breaker is open; load is being shed (HTTP 503)."""
+
+    def __init__(self, message: str, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)

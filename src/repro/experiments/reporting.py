@@ -184,6 +184,8 @@ def render_provenance(result: ExperimentResult, store: str | None = None) -> str
         f"{result.cells_cached} replayed from store\n"
     )
     buf.write(f"  jobs: {result.jobs}\n")
+    if result.worker_restarts:
+        buf.write(f"  worker restarts: {result.worker_restarts}\n")
     buf.write(f"  store: {store if store else '(none)'}\n")
     buf.write(f"  seed: {cfg.seed}  code: {__version__}\n")
     return buf.getvalue()
@@ -199,6 +201,7 @@ def render_json(result: ExperimentResult) -> str:
         "config": asdict(result.config),
         "provenance": {
             "jobs": result.jobs,
+            "worker_restarts": result.worker_restarts,
             "cells_computed": result.cells_computed,
             "cells_cached": result.cells_cached,
             "code": __version__,

@@ -43,7 +43,7 @@ from pathlib import Path
 
 from repro.api.topology import LABELING_CACHE_ENV, Topology
 from repro.core.config import TimerConfig
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, PermanentError
 from repro.experiments.cases import CASES, CaseRun, run_case
 from repro.experiments.instances import (
     generate_instance,
@@ -124,6 +124,8 @@ class ExperimentResult:
     cells_computed: int = 0  # cell repetitions executed this run
     cells_cached: int = 0  # cell repetitions replayed from the store
     jobs: int = 1
+    #: sweep workers restarted after a crash (their tasks were requeued)
+    worker_restarts: int = 0
 
     def aggregate(self) -> dict:
         """``{topology: {case: {q_time/q_cut/q_coco: {...}}}}``."""
@@ -255,8 +257,20 @@ def _validate_config(config: ExperimentConfig) -> None:
         )
 
 
-def _execute(tasks: list, jobs: int) -> list:
-    """Run tasks inline or on a worker pool; outputs in task order.
+def _sweep_runner(_ctx: object, task: _Task) -> list:
+    """Pool adapter: :class:`SupervisedPool` calls ``runner(ctx, item)``."""
+    return _run_task(task)
+
+
+def _execute(tasks: list, jobs: int) -> tuple[list, int]:
+    """Run tasks inline or on a supervised pool; outputs in task order.
+
+    Returns ``(outputs, worker_restarts)`` where ``outputs[i]`` is the
+    ``[(key, record), ...]`` list for ``tasks[i]`` -- or the exception
+    that permanently failed it after the pool's crash recovery gave up.
+    A crashed worker does not lose the sweep: its (instance, repetition)
+    task is requeued onto a restarted worker, so ``--resume`` semantics
+    stay exact (every record that *could* be computed is).
 
     Determinism never depends on the start method -- every seed derives
     from a cell identity -- so the pool uses the shared policy of
@@ -265,10 +279,28 @@ def _execute(tasks: list, jobs: int) -> list:
     spawn elsewhere).
     """
     if jobs <= 1 or len(tasks) <= 1:
-        return [_run_task(t) for t in tasks]
+        return [_run_task(t) for t in tasks], 0
+    from repro.serve.pool import SupervisedPool
+
     ctx = preferred_mp_context()
-    with ctx.Pool(processes=min(jobs, len(tasks))) as pool:
-        return pool.map(_run_task, tasks, chunksize=1)
+    with SupervisedPool(
+        _sweep_runner,
+        workers=min(jobs, len(tasks)),
+        mp_context=ctx,
+        name="sweep",
+    ) as pool:
+        # One pool task per sweep task (singleton items): a crash
+        # requeues exactly its (instance, rep) cell block, and repeated
+        # crashes poison only that block instead of the whole sweep.
+        futures = [pool.submit("sweep", None, [task])[0] for task in tasks]
+        outputs: list = []
+        for future in futures:
+            try:
+                outputs.append(future.result())
+            except Exception as exc:  # gather, don't fail fast
+                outputs.append(exc)
+        restarts = pool.restarts
+    return outputs, restarts
 
 
 def run_experiment(
@@ -340,17 +372,34 @@ def _run_experiment(
                 tasks.append(_Task(config, inst_name, rep, tuple(missing)))
 
     fresh: dict[tuple, dict] = {}
-    for task, outputs in zip(tasks, _execute(tasks, jobs)):
+    failed: list[tuple[str, int, Exception]] = []
+    task_outputs, worker_restarts = _execute(tasks, jobs)
+    for task, outputs in zip(tasks, task_outputs):
+        if isinstance(outputs, Exception):
+            failed.append((task.instance, task.rep, outputs))
+            continue
         for (topo_name, case), (key, record) in zip(task.cells, outputs):
             fresh[(task.instance, task.rep, topo_name, case)] = record
             if store is not None:
                 store.put(key, record)
+    if failed:
+        # Every successful cell is already persisted above, so a re-run
+        # with --resume recomputes only the cells listed here.
+        detail = "; ".join(
+            f"{inst} rep{rep}: {type(exc).__name__}: {exc}"
+            for inst, rep, exc in failed
+        )
+        raise PermanentError(
+            f"{len(failed)} sweep task(s) failed after crash recovery "
+            f"({len(fresh)} cell(s) stored; rerun with resume): {detail}"
+        )
 
     result = ExperimentResult(
         config=config,
         cells_computed=len(fresh),
         cells_cached=len(cached),
         jobs=max(1, int(jobs)),
+        worker_restarts=worker_restarts,
     )
     seen_partitions: set[tuple] = set()
     for inst_name in instances:

@@ -248,6 +248,70 @@ def _djokovic_classes_loop(
     return edge_class, classes
 
 
+def _assemble_cut_edges(edge_class, us, vs, dim: int) -> tuple:
+    """Per-class ``(k, 2)`` endpoint arrays from per-edge class indices.
+
+    The stable argsort keeps edges in their original order within each
+    class -- both the fresh recognition path and the cache-rebuild path
+    (:func:`cut_edges_from_labels`) go through this exact assembly, so a
+    labeling loaded from disk yields byte-identical cut-edge arrays.
+    """
+    by_class = np.argsort(edge_class, kind="stable")
+    splits = np.searchsorted(edge_class[by_class], np.arange(1, dim))
+    return tuple(
+        np.stack([us[members], vs[members]], axis=1)
+        for members in np.split(by_class, splits)
+    )
+
+
+def cut_edges_from_labels(labels, dim: int, us, vs) -> tuple:
+    """Rebuild the per-class cut-edge arrays from the labeling alone.
+
+    Class ``j`` is, by construction, exactly the set of edges whose
+    endpoint labels differ in bit ``j`` -- so ``cut_edges`` is fully
+    derived data and the disk cache stores only ``labels``/``dim``.
+    Accepts both label representations (packed ``int64`` vector for
+    ``dim <= 63``, wide ``(n, W)`` ``uint64`` matrix beyond); the
+    power-of-two ``log2`` recovery is exact in float64 up to ``2**63``.
+
+    Raises ``ValueError`` when the labels are not a valid partial-cube
+    labeling of these edges (an endpoint pair differing in zero or
+    several bits) -- corrupt cache entries must fail loudly here so the
+    loader can degrade to a recompute.
+    """
+    if not dim:
+        return ()
+    labels = np.asarray(labels)
+    us = np.asarray(us)
+    vs = np.asarray(vs)
+    if labels.ndim == 1:
+        diff = (labels[us] ^ labels[vs]).astype(np.uint64)
+        if (diff == 0).any() or (diff & (diff - np.uint64(1))).any():
+            raise ValueError(
+                "labels are not a partial-cube labeling of these edges"
+            )
+        edge_class = np.log2(diff.astype(np.float64)).astype(np.int64)
+    else:
+        diff = labels[us] ^ labels[vs]  # (m, W) uint64 words
+        nonzero = diff != 0
+        if (nonzero.sum(axis=1) != 1).any():
+            raise ValueError(
+                "labels are not a partial-cube labeling of these edges"
+            )
+        word = np.argmax(nonzero, axis=1)
+        bits = diff[np.arange(diff.shape[0]), word]
+        if (bits & (bits - np.uint64(1))).any():
+            raise ValueError(
+                "labels are not a partial-cube labeling of these edges"
+            )
+        edge_class = 64 * word.astype(np.int64) + np.log2(
+            bits.astype(np.float64)
+        ).astype(np.int64)
+    if edge_class.size and int(edge_class.max()) >= dim:
+        raise ValueError(f"edge class exceeds labeling dimension {dim}")
+    return _assemble_cut_edges(edge_class, us, vs, dim)
+
+
 def partial_cube_labeling(g: Graph, verify: bool = True) -> PartialCubeLabeling:
     """Recognize ``g`` as a partial cube and return its Hamming labeling.
 
@@ -283,12 +347,7 @@ def partial_cube_labeling(g: Graph, verify: bool = True) -> PartialCubeLabeling:
             labels = (on_y_side.astype(np.int64) * shifts[:, None]).sum(axis=0)
         else:
             labels = pack_bit_matrix(on_y_side.T)
-        by_class = np.argsort(edge_class, kind="stable")
-        splits = np.searchsorted(edge_class[by_class], np.arange(1, dim))
-        cut_edges = tuple(
-            np.stack([us[members], vs[members]], axis=1)
-            for members in np.split(by_class, splits)
-        )
+        cut_edges = _assemble_cut_edges(edge_class, us, vs, dim)
     else:
         labels = np.zeros(g.n, dtype=np.int64)
         cut_edges = ()

@@ -7,9 +7,17 @@ Layers (bottom up):
 - :mod:`repro.serve.cache` -- the two-tier topology cache (bounded
   session LRU shared with :meth:`repro.api.Topology.from_name`, npz disk
   tier behind it);
+- :mod:`repro.serve.faults` -- deterministic fault-injection plans
+  (worker kills, injected stage errors, latency spikes) driven by
+  ``REPRO_FAULTS`` / ``--faults``;
+- :mod:`repro.serve.pool` -- the supervised worker pool: crash
+  detection via process sentinels, worker restart, requeue of lost
+  batches, and bisection to isolate poison requests;
+- :mod:`repro.serve.retry` -- bounded retries with exponential backoff
+  and deterministic jitter, plus per-group circuit breakers;
 - :mod:`repro.serve.scheduler` -- micro-batching with request
-  coalescing, admission control and per-request deadlines, dispatching
-  through :meth:`repro.api.Pipeline.run_batch`;
+  coalescing, admission control, per-request deadlines and graceful
+  degradation, dispatching in-process or through the supervised pool;
 - :mod:`repro.serve.service` -- the asyncio JSON-over-HTTP front end
   (``/map``, ``/enhance``, ``/batch``, ``/healthz``, ``/metrics``) and
   the JSON-lines stdio mode;
@@ -24,8 +32,11 @@ throughput and tail latency into ``BENCH_serve.json``.
 """
 
 from repro.serve.cache import TopologyCache
+from repro.serve.faults import FaultPlan, corrupt_cache_dir, corrupt_npz_file
 from repro.serve.loadgen import LoadProfile, LoadReport, generate_load, run_load
 from repro.serve.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.serve.pool import SupervisedPool
+from repro.serve.retry import CircuitBreaker, RetryPolicy
 from repro.serve.scheduler import (
     BatchScheduler,
     DeadlineExceededError,
@@ -46,6 +57,12 @@ from repro.serve.service import (
 
 __all__ = [
     "TopologyCache",
+    "FaultPlan",
+    "corrupt_cache_dir",
+    "corrupt_npz_file",
+    "SupervisedPool",
+    "CircuitBreaker",
+    "RetryPolicy",
     "LoadProfile",
     "LoadReport",
     "generate_load",

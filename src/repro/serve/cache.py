@@ -89,5 +89,6 @@ class TopologyCache:
                 "hits": disk["disk_hits"] - self._base["disk_hits"],
                 "misses": disk["disk_misses"] - self._base["disk_misses"],
                 "stores": disk["disk_stores"] - self._base["disk_stores"],
+                "corrupt": disk["disk_corrupt"] - self._base["disk_corrupt"],
             },
         }

@@ -50,6 +50,7 @@ class LoadProfile:
     hot_fraction: float = 0.6
     deadline_s: float | None = None
     matrix_path: str | None = None
+    allow_degraded: bool = False
 
     def __post_init__(self) -> None:
         if self.requests < 1:
@@ -87,6 +88,11 @@ def build_catalog(profile: LoadProfile) -> list[dict]:
                             **(
                                 {"deadline_s": profile.deadline_s}
                                 if profile.deadline_s
+                                else {}
+                            ),
+                            **(
+                                {"allow_degraded": True}
+                                if profile.allow_degraded
                                 else {}
                             ),
                         }
@@ -182,6 +188,7 @@ class LoadReport:
     profile: LoadProfile
     requests: int = 0
     ok: int = 0
+    degraded: int = 0
     errors: dict = field(default_factory=dict)
     duration_seconds: float = 0.0
     throughput_rps: float = 0.0
@@ -204,6 +211,7 @@ class LoadReport:
             f"p99 {lat.get('p99', 0) * 1e3:.0f}ms; mean batch "
             f"{self.batch.get('mean_size', 0):.2f} "
             f"({self.batch.get('coalesced', 0)} coalesced)"
+            + (f"; {self.degraded} degraded" if self.degraded else "")
             + (f"; errors {self.errors}" if self.errors else "")
         )
 
@@ -220,6 +228,7 @@ def _summarize(
     for _lat, status, body in samples:
         if status == 200 and isinstance(body, dict) and body.get("ok"):
             report.ok += 1
+            report.degraded += bool(body.get("degraded"))
             info = body.get("batch", {})
             sizes.append(int(info.get("size", 1)))
             coalesced += bool(info.get("coalesced"))

@@ -1,0 +1,171 @@
+"""Retry pacing and per-group circuit breaking for the serve tier.
+
+Two small, independently testable policies the scheduler composes:
+
+* :class:`RetryPolicy` -- bounded retries of :class:`TransientError`
+  failures with exponential backoff and **deterministic jitter**: the
+  jitter for ``(key, attempt)`` comes from
+  :func:`~repro.utils.rng.derive_rng`, so replaying the same traffic
+  against the same fault plan produces the same sleep schedule (the
+  chaos tests depend on this).
+
+* :class:`CircuitBreaker` -- the classic closed / open / half-open
+  automaton per ``(topology, config)`` group.  Only *service-side*
+  failures (crash-retry exhaustion, poison isolation) should be
+  recorded; client errors and deadline misses say nothing about group
+  health.  While open, the scheduler sheds load for the group with
+  :class:`~repro.errors.CircuitOpenError` (HTTP 503 + ``Retry-After``)
+  instead of queueing work that is expected to fail.
+
+Both objects are used from a single event-loop thread and carry no
+locks by design.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.errors import CircuitOpenError, ConfigurationError, TransientError
+from repro.utils.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic jitter.
+
+    ``max_attempts`` counts total tries (1 = no retries).  The delay
+    before retry ``attempt`` (1-based) is
+    ``min(base_delay * 2**(attempt-1), max_delay)`` scaled by a jitter
+    factor in ``[0.5, 1.0)`` derived from ``(seed, key, attempt)``.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    seed: int = 0xD1CE
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise ConfigurationError(
+                "need 0 <= base_delay <= max_delay for a retry policy"
+            )
+
+    def is_retryable(self, exc: BaseException) -> bool:
+        """Transients retry; an open breaker is a verdict, not a fault."""
+        return isinstance(exc, TransientError) and not isinstance(
+            exc, CircuitOpenError
+        )
+
+    def delay(self, key: str, attempt: int) -> float:
+        """Backoff before 1-based retry ``attempt`` of work ``key``."""
+        if attempt < 1:
+            return 0.0
+        base = min(self.base_delay * (2.0 ** (attempt - 1)), self.max_delay)
+        jitter = derive_rng(self.seed, "retry", key, attempt).random()
+        return base * (0.5 + 0.5 * jitter)
+
+
+class CircuitBreaker:
+    """Closed / open / half-open breaker for one dispatch group.
+
+    ``failure_threshold`` consecutive recorded failures open the
+    breaker for ``reset_s`` seconds.  After the window one *probe* is
+    admitted (half-open); its outcome closes or re-opens the circuit.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_s: float = 30.0,
+        clock=time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ConfigurationError("failure_threshold must be >= 1")
+        if reset_s <= 0:
+            raise ConfigurationError("reset_s must be > 0")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_s = float(reset_s)
+        self._clock = clock
+        self._state = self.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probe_inflight = False
+        self.transitions = 0
+
+    # -- state ---------------------------------------------------------
+    @property
+    def state(self) -> str:
+        if (
+            self._state == self.OPEN
+            and self._clock() - self._opened_at >= self.reset_s
+        ):
+            self._transition(self.HALF_OPEN)
+        return self._state
+
+    def _transition(self, new_state: str) -> None:
+        if new_state != self._state:
+            self._state = new_state
+            self.transitions += 1
+            if new_state != self.HALF_OPEN:
+                self._probe_inflight = False
+
+    def retry_after(self) -> float:
+        """Seconds until the next probe would be admitted (0 if now)."""
+        if self.state != self.OPEN:
+            return 0.0
+        return max(0.0, self._opened_at + self.reset_s - self._clock())
+
+    def allow(self) -> bool:
+        """Whether a new request for this group may be admitted.
+
+        In half-open state exactly one in-flight probe is admitted;
+        everything else is shed until the probe reports back.
+        """
+        state = self.state
+        if state == self.CLOSED:
+            return True
+        if state == self.HALF_OPEN and not self._probe_inflight:
+            self._probe_inflight = True
+            return True
+        return False
+
+    def check(self, group: str) -> None:
+        """Raise :class:`CircuitOpenError` unless :meth:`allow` admits."""
+        if not self.allow():
+            hint = self.retry_after()
+            raise CircuitOpenError(
+                f"circuit breaker open for group {group}", retry_after=hint
+            )
+
+    # -- outcome recording ---------------------------------------------
+    def record_success(self) -> None:
+        self._failures = 0
+        self._probe_inflight = False
+        if self._state in (self.HALF_OPEN, self.OPEN):
+            self._transition(self.CLOSED)
+
+    def record_failure(self) -> None:
+        self._probe_inflight = False
+        if self.state == self.HALF_OPEN:
+            self._opened_at = self._clock()
+            self._transition(self.OPEN)
+            return
+        self._failures += 1
+        if self._state == self.CLOSED and self._failures >= self.failure_threshold:
+            self._opened_at = self._clock()
+            self._transition(self.OPEN)
+
+    def snapshot(self) -> dict:
+        return {
+            "state": self.state,
+            "failures": self._failures,
+            "transitions": self.transitions,
+            "retry_after": round(self.retry_after(), 3),
+        }

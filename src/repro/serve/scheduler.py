@@ -1,4 +1,4 @@
-"""Micro-batching scheduler: group, coalesce, dispatch, bound, reject.
+"""Micro-batching scheduler: group, coalesce, dispatch, bound, recover.
 
 The serving front end (:mod:`repro.serve.service`) turns every wire
 request into a :class:`MapRequest` and awaits
@@ -23,10 +23,26 @@ expire while queued are failed without being computed, and requests
 whose deadline passes *during* their batch's computation are failed on
 completion (the work is wasted, the client already walked away).
 
+Fault tolerance
+---------------
+With ``workers > 0`` batches execute on a :class:`SupervisedPool`: a
+worker death restarts the worker and requeues (then bisects) the lost
+batch, so at most one poison item fails while its batch-mates succeed.
+Per-item :class:`~repro.errors.TransientError` failures are retried
+under a :class:`~repro.serve.retry.RetryPolicy` (bounded attempts,
+exponential backoff, jitter derived deterministically from the work
+key).  A per-group :class:`~repro.serve.retry.CircuitBreaker` sheds
+load with 503/``Retry-After`` while a group keeps failing, and
+requests marked ``allow_degraded`` may instead be answered from the
+response cache or rerouted to an enhance-free pipeline -- always
+flagged ``degraded`` so the byte-identity contract is only claimed for
+full-fidelity responses.
+
 Determinism: a batch dispatch passes each request's seed verbatim to
-``run_batch(seeds=[...])``, which runs ``Pipeline.run(ga, seed=s)`` per
-graph -- the same call a direct library user makes.  Batched, coalesced,
-``jobs=1`` or ``jobs=N``: byte-identical mappings.
+``run_batch(seeds=[...])`` (in-process) or ``Pipeline.run`` (pool
+workers) -- the same call a direct library user makes.  Batched,
+coalesced, retried, ``jobs=1`` or pool-dispatched: byte-identical
+mappings on every non-degraded path.
 """
 
 from __future__ import annotations
@@ -35,21 +51,35 @@ import asyncio
 import hashlib
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from repro.api.pipeline import Pipeline, PipelineConfig, PipelineResult
-from repro.errors import ConfigurationError, ReproError
+from repro.api.pipeline import (
+    Pipeline,
+    PipelineConfig,
+    PipelineResult,
+    _rebuild_pipeline,
+)
+from repro.errors import (
+    CircuitOpenError,
+    ConfigurationError,
+    PermanentError,
+    ReproError,
+    TransientError,
+)
 from repro.experiments.instances import generate_instance, instance_names
 from repro.experiments.store import canonical_json, cell_key
 from repro.graphs.builder import from_edges
 from repro.graphs.graph import Graph
 from repro.serve.cache import TopologyCache
+from repro.serve.faults import FaultClock, FaultPlan, on_item, on_task
 from repro.serve.metrics import MetricsRegistry
+from repro.serve.pool import SupervisedPool
+from repro.serve.retry import CircuitBreaker, RetryPolicy
 
 
-class QueueFullError(ReproError):
+class QueueFullError(TransientError):
     """Admission control rejected the request (HTTP 429)."""
 
     def __init__(self, pending: int, max_queue: int, retry_after: float) -> None:
@@ -169,6 +199,9 @@ class MapRequest:
     #: supplied mapping => enhance-only request (partition/map skipped)
     mu: np.ndarray | None = None
     deadline_s: float | None = None
+    #: opt-in to degraded answers (response cache / enhance-free) when
+    #: the group's breaker is open or the deadline cannot fit a full run
+    allow_degraded: bool = False
 
     def group_key(self) -> str:
         """Batching group: same topology + same config identity-hash."""
@@ -198,6 +231,11 @@ class ServedResult:
     coalesced: bool
     queue_seconds: float
     compute_seconds: float
+    #: degraded answers trade fidelity for availability and are exempt
+    #: from the byte-identity contract; ``degraded_mode`` says how
+    #: ("cached" = response-cache replay, "no_enhance" = enhance skipped)
+    degraded: bool = False
+    degraded_mode: str | None = None
 
 
 @dataclass
@@ -206,6 +244,7 @@ class _Job:
     future: asyncio.Future
     enqueued: float
     deadline: float | None
+    degraded_mode: str | None = None
 
 
 class _Group:
@@ -217,6 +256,21 @@ class _Group:
         #: held here so a dispatch keeps its pipeline even if the
         #: scheduler's pipeline LRU evicts the group key meanwhile
         self.pipeline = pipeline
+
+
+# ----------------------------------------------------------------------
+# Supervised-pool plumbing (module-level: must pickle into workers)
+# ----------------------------------------------------------------------
+def _pool_setup(payload) -> Pipeline:
+    """Materialize a worker-side pipeline from its pickled payload."""
+    return _rebuild_pipeline(*payload)
+
+
+def _pool_run(pipe: Pipeline, item) -> PipelineResult:
+    """Run one work item -- the exact call a direct library user makes."""
+    _wkey, wire, seed, mu = item
+    ga = GraphSpec.from_wire(wire).build()
+    return pipe.run(ga, mu=mu, seed=seed)
 
 
 # ----------------------------------------------------------------------
@@ -236,15 +290,31 @@ class BatchScheduler:
     max_queue:
         admission bound on in-flight requests across all groups.
     jobs:
-        worker processes for ``run_batch`` inside one dispatch (1 =
-        in-process, byte-identical either way).
+        worker processes for ``run_batch`` inside one in-process
+        dispatch (1 = fully in-process, byte-identical either way).
+    workers:
+        size of the supervised worker pool.  ``0`` (default) keeps the
+        historical in-process compute path; ``> 0`` moves batch compute
+        onto crash-supervised processes with requeue/bisection recovery.
     dispatch_workers:
-        executor threads running batch computations; 1 (the default)
-        serializes batches, which keeps single-core latency predictable.
+        executor threads running batch computations; with a pool this
+        defaults to ``workers`` so groups dispatch concurrently.
     max_pipelines:
         LRU bound on cached per-group pipelines (group keys embed
         client-supplied config values, so the cache must not trust
         clients to keep the key space small).
+    retry:
+        :class:`RetryPolicy` for transient per-item failures.
+    breaker_threshold / breaker_reset_s:
+        per-group circuit-breaker tuning (consecutive service-side
+        failures to open; seconds before a half-open probe).
+    faults:
+        deterministic :class:`FaultPlan` for chaos testing; installed
+        into the environment so pool workers inherit it.
+    response_cache_size:
+        LRU bound on remembered successful results, used only to serve
+        ``allow_degraded`` requests while their group is unhealthy
+        (0 disables).
     """
 
     def __init__(
@@ -254,15 +324,26 @@ class BatchScheduler:
         max_batch: int = 16,
         max_queue: int = 256,
         jobs: int = 1,
-        dispatch_workers: int = 1,
+        workers: int = 0,
+        dispatch_workers: int | None = None,
         max_pipelines: int = 64,
         cache: TopologyCache | None = None,
         metrics: MetricsRegistry | None = None,
+        retry: RetryPolicy | None = None,
+        breaker_threshold: int = 5,
+        breaker_reset_s: float = 10.0,
+        faults: FaultPlan | None = None,
+        response_cache_size: int = 128,
+        degrade_margin: float = 1.2,
         clock=time.monotonic,
     ) -> None:
         if max_batch < 1 or max_queue < 1 or max_pipelines < 1:
             raise ConfigurationError(
                 "max_batch, max_queue and max_pipelines must be >= 1"
+            )
+        if workers < 0 or response_cache_size < 0:
+            raise ConfigurationError(
+                "workers and response_cache_size must be >= 0"
             )
         self.window_s = float(window_s)
         self.max_batch = int(max_batch)
@@ -271,17 +352,36 @@ class BatchScheduler:
         self.max_pipelines = int(max_pipelines)
         self.cache = cache if cache is not None else TopologyCache()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.breaker_threshold = int(breaker_threshold)
+        self.breaker_reset_s = float(breaker_reset_s)
+        self.faults = faults if faults is not None else FaultPlan.from_env()
+        self.response_cache_size = int(response_cache_size)
+        self.degrade_margin = float(degrade_margin)
         self.clock = clock
+        self._fault_clock = FaultClock()
         self._groups: dict[str, _Group] = {}
         #: LRU of assembled pipelines by group key.  Bounded because the
         #: config identity contains client-controlled floats (epsilon):
         #: unbounded, a hostile stream of distinct configs would pin
         #: Topology sessions past the session LRU's own evictions.
         self._pipelines: dict[str, Pipeline] = {}
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._response_cache: dict[tuple, PipelineResult] = {}
+        self._compute_ewma: dict[str, float] = {}
         self._pending = 0
         self._closed = False
+        self._pool: SupervisedPool | None = None
+        if workers > 0:
+            self.faults.install()  # pool workers read REPRO_FAULTS at start
+            self._pool = SupervisedPool(
+                _pool_run, setup=_pool_setup, workers=workers, name="repro-serve"
+            )
+        if dispatch_workers is None:
+            dispatch_workers = workers if workers > 0 else 1
         self._executor = ThreadPoolExecutor(
-            max_workers=dispatch_workers, thread_name_prefix="repro-serve"
+            max_workers=max(1, int(dispatch_workers)),
+            thread_name_prefix="repro-serve",
         )
         self._dispatch_tasks: set[asyncio.Task] = set()
         m = self.metrics
@@ -311,11 +411,36 @@ class BatchScheduler:
         self._m_compute_s = m.histogram(
             "compute_seconds", "batch computation wall time"
         )
+        self._m_retries = m.counter(
+            "retries_total", "per-item transient-failure retries"
+        )
+        self._m_failures = m.counter(
+            "failures_total", "work items failed after recovery, by class"
+        )
+        self._m_degraded = m.counter(
+            "degraded_total", "degraded responses served, by mode"
+        )
+        self._m_worker_restarts = m.gauge(
+            "worker_restarts", "pool workers restarted after a crash"
+        )
+        self._m_poisoned = m.gauge(
+            "poisoned_requests", "work items isolated by crash bisection"
+        )
+        self._m_breakers_open = m.gauge(
+            "breakers_open", "dispatch groups currently shedding load"
+        )
+        self._m_breaker_transitions = m.gauge(
+            "breaker_transitions", "circuit state changes across all groups"
+        )
 
     # -- public API ----------------------------------------------------
     @property
     def pending(self) -> int:
         return self._pending
+
+    @property
+    def pool(self) -> SupervisedPool | None:
+        return self._pool
 
     def pipeline_for(
         self, request: MapRequest, gkey: str | None = None
@@ -332,6 +457,31 @@ class BatchScheduler:
             self._pipelines.pop(next(iter(self._pipelines)))
         return pipe
 
+    def breaker_for(self, gkey: str) -> CircuitBreaker:
+        """The (cached) circuit breaker guarding one dispatch group."""
+        breaker = self._breakers.pop(gkey, None)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                failure_threshold=self.breaker_threshold,
+                reset_s=self.breaker_reset_s,
+                clock=self.clock,
+            )
+        self._breakers[gkey] = breaker
+        while len(self._breakers) > self.max_pipelines:
+            # Prefer evicting a healthy breaker; an open one is actively
+            # protecting the service from a failing group.
+            victim = next(
+                (k for k, b in self._breakers.items()
+                 if b.state == CircuitBreaker.CLOSED and k != gkey),
+                next(iter(self._breakers)),
+            )
+            self._breakers.pop(victim)
+        return breaker
+
+    def breaker_snapshot(self) -> dict:
+        """Per-group breaker states (for /healthz introspection)."""
+        return {k: b.snapshot() for k, b in self._breakers.items()}
+
     async def submit(self, request: MapRequest) -> ServedResult:
         """Admit, batch, and await one request (may raise the 4xx errors)."""
         if self._closed:
@@ -345,6 +495,24 @@ class BatchScheduler:
         # Resolve the pipeline *before* enqueueing so an unknown
         # topology or bad config rejects immediately, not mid-batch.
         pipe = self.pipeline_for(request, gkey)
+        degraded_mode: str | None = None
+        breaker = self.breaker_for(gkey)
+        degrade_reason = None
+        if not breaker.allow():
+            degrade_reason = "breaker_open"
+        elif request.allow_degraded and request.deadline_s is not None:
+            ewma = self._compute_ewma.get(gkey)
+            if (
+                ewma is not None
+                and request.deadline_s
+                < self.degrade_margin * ewma + self.window_s
+            ):
+                degrade_reason = "deadline"
+        if degrade_reason is not None:
+            served = self._degrade(request, gkey, breaker, degrade_reason)
+            if isinstance(served, ServedResult):
+                return served
+            request, gkey, pipe, degraded_mode = served
         loop = asyncio.get_running_loop()
         now = self.clock()
         job = _Job(
@@ -352,6 +520,7 @@ class BatchScheduler:
             future=loop.create_future(),
             enqueued=now,
             deadline=(now + request.deadline_s) if request.deadline_s else None,
+            degraded_mode=degraded_mode,
         )
         self._pending += 1
         self._m_requests.inc()
@@ -385,8 +554,83 @@ class BatchScheduler:
             group.jobs.clear()
         self._groups.clear()
         self._executor.shutdown(wait=False, cancel_futures=True)
+        if self._pool is not None:
+            self._pool.close()
+
+    # -- degradation ----------------------------------------------------
+    def _degrade(
+        self,
+        request: MapRequest,
+        gkey: str,
+        breaker: CircuitBreaker,
+        reason: str,
+    ):
+        """Resolve an unhealthy-group/tight-deadline request.
+
+        Returns a finished :class:`ServedResult` (response-cache replay),
+        a rewritten ``(request, gkey, pipe, degraded_mode)`` tuple to
+        enqueue instead, or raises :class:`CircuitOpenError`.
+        """
+        shed = CircuitOpenError(
+            f"circuit breaker open for group {gkey}",
+            retry_after=breaker.retry_after(),
+        )
+        if not request.allow_degraded:
+            self._m_rejected.inc(label="breaker_open")
+            self._refresh_breaker_metrics()
+            raise shed
+        cached = self._response_cache.get((gkey,) + request.work_key())
+        if cached is not None:
+            self._m_requests.inc()
+            self._m_degraded.inc(label="cached")
+            return ServedResult(
+                result=cached,
+                batch_size=1,
+                batch_unique=1,
+                coalesced=False,
+                queue_seconds=0.0,
+                compute_seconds=0.0,
+                degraded=True,
+                degraded_mode="cached",
+            )
+        if request.config.enhance not in ("", "none"):
+            bare = replace(
+                request, config=replace(request.config, enhance="none")
+            )
+            bare_key = bare.group_key()
+            bare_breaker = self.breaker_for(bare_key)
+            if bare_breaker.allow():
+                return bare, bare_key, self.pipeline_for(bare, bare_key), "no_enhance"
+            self._m_rejected.inc(label="breaker_open")
+            self._refresh_breaker_metrics()
+            raise shed
+        if reason == "breaker_open":
+            self._m_rejected.inc(label="breaker_open")
+            self._refresh_breaker_metrics()
+            raise shed
+        # Deadline-pressured but already enhance-free with no cache hit:
+        # nothing left to strip, run it straight.
+        return request, gkey, self.pipeline_for(request, gkey), None
 
     # -- internals -----------------------------------------------------
+    def _refresh_breaker_metrics(self) -> None:
+        self._m_breakers_open.set(
+            sum(1 for b in self._breakers.values()
+                if b.state != CircuitBreaker.CLOSED)
+        )
+        self._m_breaker_transitions.set(
+            sum(b.transitions for b in self._breakers.values())
+        )
+
+    def _remember(self, gkey: str, request: MapRequest, result) -> None:
+        if self.response_cache_size <= 0:
+            return
+        key = (gkey,) + request.work_key()
+        self._response_cache.pop(key, None)
+        self._response_cache[key] = result
+        while len(self._response_cache) > self.response_cache_size:
+            self._response_cache.pop(next(iter(self._response_cache)))
+
     def _flush(self, gkey: str) -> None:
         """Move up to ``max_batch`` queued jobs of a group into a dispatch."""
         group = self._groups.get(gkey)
@@ -408,7 +652,7 @@ class BatchScheduler:
             # reference lives only in the (bounded) pipeline LRU.
             del self._groups[gkey]
         task = asyncio.get_running_loop().create_task(
-            self._dispatch(group.pipeline, batch)
+            self._dispatch(gkey, group.pipeline, batch)
         )
         self._dispatch_tasks.add(task)
         task.add_done_callback(self._dispatch_tasks.discard)
@@ -423,7 +667,117 @@ class BatchScheduler:
         else:
             job.future.set_result(outcome)
 
-    async def _dispatch(self, pipe: Pipeline, batch: list[_Job]) -> None:
+    def _compute_once(self, gkey: str, pipe: Pipeline, reqs: list[MapRequest]):
+        """One compute attempt; returns a result-or-exception per request.
+
+        Runs on an executor thread.  Pool mode ships ``(work-key, graph
+        wire spec, seed, mu)`` items plus the pipeline's pickled payload
+        and blocks on the per-item futures; worker death surfaces here
+        only after the supervisor's requeue/bisection gave up.
+        """
+        plan = self.faults
+        if self._pool is not None:
+            pipe.warm_caches()  # labeling accounted to the parent process
+            items = [
+                (
+                    str(req.work_key()),
+                    req.graph.to_wire(),
+                    req.seed,
+                    None if req.mu is None
+                    else np.ascontiguousarray(req.mu, dtype=np.int64),
+                )
+                for req in reqs
+            ]
+            futures = self._pool.submit(gkey, pipe._pickle_payload(), items)
+            outcomes = []
+            for future in futures:
+                try:
+                    outcomes.append(future.result())
+                except BaseException as exc:  # noqa: BLE001 - refiled per item
+                    outcomes.append(exc)
+            return outcomes
+        if plan.active or any(req.mu is not None for req in reqs):
+            # Per-item execution: supplied-mapping requests cannot ride
+            # run_batch's seeds-only signature, and fault hooks need
+            # per-item failure granularity.  Kills are never honored
+            # in-process -- that would take down the service itself.
+            on_task(plan, self._fault_clock, allow_kill=False)
+            outcomes = []
+            for req in reqs:
+                try:
+                    on_item(
+                        plan, req.work_key(), self._fault_clock, allow_kill=False
+                    )
+                    ga = req.graph.build()
+                    outcomes.append(pipe.run(ga, mu=req.mu, seed=req.seed))
+                except Exception as exc:  # noqa: BLE001 - refiled per item
+                    outcomes.append(exc)
+            return outcomes
+        graphs = [req.graph.build() for req in reqs]
+        try:
+            return pipe.run_batch(
+                graphs, seeds=[req.seed for req in reqs], jobs=self.jobs
+            )
+        except Exception as exc:  # noqa: BLE001 - refiled per item
+            return [exc for _ in reqs]
+
+    def _compute_with_retries(
+        self,
+        gkey: str,
+        pipe: Pipeline,
+        unique: list[MapRequest],
+        order: list[tuple],
+        members: dict[tuple, list[_Job]],
+    ) -> list:
+        """Compute all unique items, retrying transients with backoff.
+
+        Runs on an executor thread; backoff sleeps block only this
+        dispatch, not the event loop.  Before each backoff, items whose
+        waiters would *all* miss their deadlines during the sleep are
+        failed immediately instead of wasting the recompute.
+        """
+        outcomes: list = [None] * len(unique)
+        todo = list(range(len(unique)))
+        for attempt in range(1, self.retry.max_attempts + 1):
+            results = self._compute_once(gkey, pipe, [unique[i] for i in todo])
+            for i, out in zip(todo, results):
+                outcomes[i] = out
+            if attempt == self.retry.max_attempts:
+                break
+            retryable = [
+                i for i in todo
+                if isinstance(outcomes[i], BaseException)
+                and self.retry.is_retryable(outcomes[i])
+            ]
+            if not retryable:
+                break
+            delay = max(
+                self.retry.delay(str(order[i]), attempt) for i in retryable
+            )
+            horizon = self.clock() + delay
+            todo = []
+            for i in retryable:
+                jobs = members[order[i]]
+                if all(
+                    j.deadline is not None and horizon > j.deadline for j in jobs
+                ):
+                    exc = DeadlineExceededError(
+                        "deadline would pass during retry backoff "
+                        f"(attempt {attempt}, {delay:.3f}s)"
+                    )
+                    exc.during_retry = True
+                    outcomes[i] = exc
+                else:
+                    todo.append(i)
+            if not todo:
+                break
+            self._m_retries.inc(len(todo))
+            time.sleep(delay)
+        return outcomes
+
+    async def _dispatch(
+        self, gkey: str, pipe: Pipeline, batch: list[_Job]
+    ) -> None:
         now = self.clock()
         live: list[_Job] = []
         for job in batch:
@@ -451,26 +805,11 @@ class BatchScheduler:
         unique = [members[key][0].request for key in order]
         loop = asyncio.get_running_loop()
         t0 = self.clock()
-
-        def compute() -> list[PipelineResult]:
-            graphs = [req.graph.build() for req in unique]
-            if any(req.mu is not None for req in unique):
-                # Supplied-mapping (enhance) requests cannot ride
-                # run_batch's seeds-only signature; the session caches
-                # still amortize across the loop.
-                return [
-                    pipe.run(ga, mu=req.mu, seed=req.seed)
-                    for ga, req in zip(graphs, unique)
-                ]
-            return pipe.run_batch(
-                graphs, seeds=[req.seed for req in unique], jobs=self.jobs
-            )
-
-        try:
-            results = await loop.run_in_executor(self._executor, compute)
-            error: BaseException | None = None
-        except BaseException as exc:
-            results, error = [], exc
+        outcomes = await loop.run_in_executor(
+            self._executor,
+            self._compute_with_retries,
+            gkey, pipe, unique, order, members,
+        )
         compute_s = self.clock() - t0
         done = self.clock()
         self._m_batches.inc()
@@ -478,11 +817,34 @@ class BatchScheduler:
         self._m_batch_unique.observe(len(unique))
         self._m_coalesced.inc(len(live) - len(unique))
         self._m_compute_s.observe(compute_s)
+        ewma = self._compute_ewma.get(gkey)
+        per_item_s = compute_s / max(1, len(unique))
+        self._compute_ewma[gkey] = (
+            per_item_s if ewma is None else 0.7 * ewma + 0.3 * per_item_s
+        )
+        breaker = self.breaker_for(gkey)
         for i, key in enumerate(order):
+            out = outcomes[i]
+            if isinstance(out, BaseException):
+                # Only service-side failures inform the breaker: client
+                # errors and deadline misses say nothing about health.
+                if isinstance(out, (TransientError, PermanentError)):
+                    breaker.record_failure()
+                    self._m_failures.inc(label=type(out).__name__)
+            else:
+                breaker.record_success()
+                self._remember(gkey, unique[i], out)
             for j, job in enumerate(members[key]):
                 self._m_queue_s.observe(t0 - job.enqueued)
-                if error is not None:
-                    self._finish(job, error)
+                if isinstance(out, BaseException):
+                    if isinstance(out, DeadlineExceededError):
+                        label = (
+                            "deadline_retry"
+                            if getattr(out, "during_retry", False)
+                            else "deadline_compute"
+                        )
+                        self._m_rejected.inc(label=label)
+                    self._finish(job, out)
                 elif job.deadline is not None and done > job.deadline:
                     self._m_rejected.inc(label="deadline_compute")
                     self._finish(
@@ -492,14 +854,23 @@ class BatchScheduler:
                         ),
                     )
                 else:
+                    if job.degraded_mode is not None:
+                        self._m_degraded.inc(label=job.degraded_mode)
                     self._finish(
                         job,
                         ServedResult(
-                            result=results[i],
+                            result=out,
                             batch_size=len(live),
                             batch_unique=len(unique),
                             coalesced=j > 0,
                             queue_seconds=t0 - job.enqueued,
                             compute_seconds=compute_s,
+                            degraded=job.degraded_mode is not None,
+                            degraded_mode=job.degraded_mode,
                         ),
                     )
+        if self._pool is not None:
+            stats = self._pool.stats()
+            self._m_worker_restarts.set(stats["restarts"])
+            self._m_poisoned.set(stats["poisoned"])
+        self._refresh_breaker_metrics()

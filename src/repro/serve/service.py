@@ -43,9 +43,17 @@ import numpy as np
 from repro.api.pipeline import PipelineConfig
 from repro.api.registry import REGISTRY, TOPOLOGY, VERIFY
 from repro.core.config import TimerConfig
-from repro.errors import MappingError, ReproError
+from repro.errors import (
+    CircuitOpenError,
+    MappingError,
+    PermanentError,
+    ReproError,
+    TransientError,
+)
 from repro.serve.cache import TopologyCache
+from repro.serve.faults import FaultPlan
 from repro.serve.metrics import MetricsRegistry
+from repro.serve.retry import RetryPolicy
 from repro.serve.scheduler import (
     BatchScheduler,
     DeadlineExceededError,
@@ -71,6 +79,7 @@ _STATUS_TEXT = {
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
     504: "Gateway Timeout",
 }
 
@@ -166,7 +175,10 @@ def parse_request(
     """One wire body -> a validated :class:`MapRequest` (raises ReproError)."""
     if not isinstance(payload, dict):
         raise ReproError(f"request body must be a JSON object, got {payload!r}")
-    known = {"topology", "graph", "config", "seed", "mu", "deadline_s", "op", "id"}
+    known = {
+        "topology", "graph", "config", "seed", "mu", "deadline_s",
+        "allow_degraded", "op", "id",
+    }
     unknown = sorted(set(payload) - known)
     if unknown:
         raise ReproError(f"unknown request keys {unknown}; known: {sorted(known)}")
@@ -200,6 +212,7 @@ def parse_request(
         seed=seed,
         mu=mu,
         deadline_s=deadline_s,
+        allow_degraded=bool(payload.get("allow_degraded", False)),
     )
 
 
@@ -254,6 +267,22 @@ class MappingService:
         except DeadlineExceededError as exc:
             return 504, {"ok": False, "error": "deadline_exceeded",
                          "message": str(exc)}, {}
+        except CircuitOpenError as exc:
+            body = {"ok": False, "error": "circuit_open", "message": str(exc),
+                    "retry_after_s": exc.retry_after}
+            return 503, body, {"Retry-After": f"{max(exc.retry_after, 0.001):.3f}"}
+        except TransientError as exc:
+            # Retries exhausted on a transient fault: the work may well
+            # succeed on a fresh request, so shed rather than condemn.
+            hint = max(float(getattr(exc, "retry_after", 0.0)), 0.1)
+            body = {"ok": False, "error": "transient", "message": str(exc),
+                    "retry_after_s": hint}
+            return 503, body, {"Retry-After": f"{hint:.3f}"}
+        except PermanentError as exc:
+            # Service-side verdict (e.g. a poison request isolated by
+            # crash bisection): retrying the same work cannot help.
+            return 500, {"ok": False, "error": "permanent",
+                         "message": str(exc)}, {}
         except (ReproError, ValueError, KeyError, TypeError) as exc:
             return 400, {"ok": False, "error": "bad_request",
                          "message": str(exc)}, {}
@@ -290,13 +319,18 @@ class MappingService:
         return 200, {"ok": True, "results": results}, {}
 
     def _healthz(self) -> dict:
-        return {
+        body = {
             "status": "ok",
             "uptime_seconds": self.metrics.uptime_seconds,
             "pending": self.scheduler.pending,
             "topologies": list(REGISTRY.names(TOPOLOGY)),
             "cache": self.scheduler.cache.stats(),
+            "breakers": self.scheduler.breaker_snapshot(),
+            "faults_active": self.scheduler.faults.active,
         }
+        if self.scheduler.pool is not None:
+            body["pool"] = self.scheduler.pool.stats()
+        return body
 
     def _metrics_extra(self) -> dict:
         stats = self.scheduler.cache.stats()
@@ -308,6 +342,7 @@ class MappingService:
             "cache_disk_hits": stats["disk"]["hits"],
             "cache_disk_misses": stats["disk"]["misses"],
             "cache_disk_stores": stats["disk"]["stores"],
+            "cache_disk_corrupt": stats["disk"]["corrupt"],
             "labelings_computed": stats["labelings_computed"],
         }
 
@@ -318,7 +353,7 @@ class MappingService:
 def result_body(served: ServedResult) -> dict:
     """The documented response body of a successful map/enhance."""
     res = served.result
-    return {
+    body = {
         "ok": True,
         "graph": res.graph,
         "topology": res.topology,
@@ -335,6 +370,12 @@ def result_body(served: ServedResult) -> dict:
             "compute_seconds": served.compute_seconds,
         },
     }
+    if served.degraded:
+        # Flagged so clients never mistake a degraded answer for the
+        # byte-identity-contracted full result.
+        body["degraded"] = True
+        body["degraded_mode"] = served.degraded_mode
+    return body
 
 
 # ----------------------------------------------------------------------
@@ -449,6 +490,18 @@ async def handle_http_connection(
 # ----------------------------------------------------------------------
 # stdio transport (JSON lines)
 # ----------------------------------------------------------------------
+async def _drain_oversized_line(reader: asyncio.StreamReader) -> bool:
+    """Discard buffered input through the next newline; True on EOF."""
+    while True:
+        try:
+            await reader.readuntil(b"\n")
+            return False
+        except asyncio.LimitOverrunError as exc:
+            await reader.read(max(int(exc.consumed), 1))
+        except (asyncio.IncompleteReadError, ValueError):
+            return True
+
+
 async def serve_stdio(
     service: MappingService,
     reader: asyncio.StreamReader,
@@ -461,12 +514,34 @@ async def serve_stdio(
     Lines are processed strictly in order (each awaited before the next
     is read), so embedders that want window batching send one ``op:
     batch`` line rather than many concurrent lines.
+
+    A malformed or oversized line answers with a structured error and
+    the loop continues -- one bad request must never terminate the
+    session (the embedder would lose every request behind it).
     """
     while True:
-        raw = await reader.readline()
+        try:
+            # readuntil, not readline: readline's overrun handling
+            # clears the whole buffer, which would also discard healthy
+            # requests already queued behind the oversized line.
+            raw = await reader.readuntil(b"\n")
+        except asyncio.IncompleteReadError as exc:
+            raw = exc.partial  # final line without a terminator
+        except (asyncio.LimitOverrunError, ValueError):
+            # Line exceeds the reader's buffer limit: discard through
+            # the next newline so the stream resynchronizes, then
+            # answer with a structured error instead of dying.
+            eof = await _drain_oversized_line(reader)
+            write_line(json.dumps({
+                "ok": False, "error": "bad_request",
+                "message": "request line exceeds the size limit",
+            }))
+            if eof:
+                return
+            continue
         if not raw:
             return
-        line = raw.decode("utf-8").strip()
+        line = raw.decode("utf-8", errors="replace").strip()
         if not line:
             continue
         try:
@@ -505,11 +580,21 @@ class ServeSettings:
     max_batch: int = 16
     max_queue: int = 256
     jobs: int = 1
+    #: > 0 moves batch compute onto the supervised crash-tolerant pool
+    workers: int = 0
     max_sessions: int | None = None
     labeling_cache: str | None = None
     max_graph_n: int | None = None
     warm: tuple[str, ...] = ()
     stdio: bool = False
+    retry_attempts: int = 3
+    retry_base_ms: float = 50.0
+    breaker_threshold: int = 5
+    breaker_reset_s: float = 10.0
+    #: JSON fault plan (see :class:`repro.serve.faults.FaultPlan`);
+    #: ``None`` falls back to the ``REPRO_FAULTS`` environment variable
+    faults: str | None = None
+    response_cache: int = 128
 
 
 def build_service(settings: ServeSettings) -> MappingService:
@@ -518,13 +603,27 @@ def build_service(settings: ServeSettings) -> MappingService:
     )
     if settings.warm:
         cache.warm(settings.warm)
+    plan = (
+        FaultPlan.from_json(settings.faults)
+        if settings.faults
+        else FaultPlan.from_env()
+    )
     scheduler = BatchScheduler(
         window_s=settings.window_ms / 1000.0,
         max_batch=settings.max_batch,
         max_queue=settings.max_queue,
         jobs=settings.jobs,
+        workers=settings.workers,
         cache=cache,
         metrics=MetricsRegistry(),
+        retry=RetryPolicy(
+            max_attempts=settings.retry_attempts,
+            base_delay=settings.retry_base_ms / 1000.0,
+        ),
+        breaker_threshold=settings.breaker_threshold,
+        breaker_reset_s=settings.breaker_reset_s,
+        faults=plan,
+        response_cache_size=settings.response_cache,
     )
     return MappingService(scheduler, max_graph_n=settings.max_graph_n)
 
@@ -534,7 +633,10 @@ async def _amain(settings: ServeSettings) -> int:
     try:
         if settings.stdio:
             loop = asyncio.get_running_loop()
-            reader = asyncio.StreamReader()
+            # Same per-request size cap as the HTTP transport; overlong
+            # lines get a structured error (see serve_stdio), so the
+            # limit bounds buffering without killing the session.
+            reader = asyncio.StreamReader(limit=MAX_BODY_BYTES)
             await loop.connect_read_pipe(
                 lambda: asyncio.StreamReaderProtocol(reader), sys.stdin
             )
@@ -556,7 +658,8 @@ async def _amain(settings: ServeSettings) -> int:
         print(f"repro serve: listening on http://{bound[0]}:{bound[1]} "
               f"(window {settings.window_ms:g}ms, max_batch "
               f"{settings.max_batch}, max_queue {settings.max_queue}, "
-              f"jobs {settings.jobs})", file=sys.stderr, flush=True)
+              f"jobs {settings.jobs}, workers {settings.workers})",
+              file=sys.stderr, flush=True)
         async with server:
             await server.serve_forever()
         return 0

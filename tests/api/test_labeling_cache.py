@@ -111,10 +111,14 @@ class TestCompression:
                  cut_splits=np.asarray(splits, dtype=np.int64))
         assert compressed < 0.5 * raw.getbuffer().nbytes
 
-    def test_legacy_uncompressed_entries_still_read(self, cache_dir, monkeypatch):
+    def test_schema1_layout_is_quarantined_and_recomputed(self, cache_dir):
+        # A valid zip carrying the retired schema-1 members (verbatim
+        # cut_edges, no checksum) at the current key: must quarantine and
+        # recompute, never crash or serve unverified data.  Real schema-1
+        # files live under a different content key (the schema is part of
+        # the key) and simply never hit.
         t = Topology.from_name("fattree4x3")
         pc = t.labeling
-        # Rewrite the cache file the way pre-compression code did.
         path = next(cache_dir.glob("*.npz"))
         flat = np.concatenate([np.asarray(c) for c in pc.cut_edges])
         splits = np.cumsum([c.shape[0] for c in pc.cut_edges])[:-1]
@@ -122,15 +126,13 @@ class TestCompression:
             np.savez(f, labels=pc.labels, dim=np.int64(pc.dim), cut_edges=flat,
                      cut_splits=np.asarray(splits, dtype=np.int64))
         Topology.clear_sessions()
-        monkeypatch.setattr(
-            topo_mod,
-            "partial_cube_labeling",
-            lambda g: (_ for _ in ()).throw(AssertionError("recomputed")),
-        )
-        pc2 = Topology.from_name("fattree4x3").labeling
+        t2 = Topology.from_name("fattree4x3")
+        pc2 = t2.labeling
+        assert t2.labelings_computed == 1
         assert np.array_equal(pc.labels, pc2.labels)
         for a, b in zip(pc.cut_edges, pc2.cut_edges):
             assert np.array_equal(a, b)
+        assert list(cache_dir.glob("*.npz.corrupt"))
 
 
 class TestStats:
@@ -143,7 +145,7 @@ class TestStats:
         Topology.from_name("grid4x4").labeling  # disk hit
         delta = {k: v - base[k] for k, v in labeling_stats().items()}
         assert delta == {"computed": 1, "disk_hits": 1, "disk_misses": 1,
-                         "disk_stores": 1}
+                         "disk_stores": 1, "disk_corrupt": 0}
 
     def test_corrupt_zip_magic_degrades_to_recompute(self, cache_dir):
         # Zip magic but truncated body: np.load raises BadZipFile, which

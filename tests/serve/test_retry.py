@@ -1,0 +1,117 @@
+"""Retry policy and circuit breaker (repro.serve.retry)."""
+
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    ConfigurationError,
+    PermanentError,
+    TransientError,
+)
+from repro.serve.retry import CircuitBreaker, RetryPolicy
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+class TestRetryPolicy:
+    def test_delay_doubles_and_caps(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=0.3)
+        d1 = policy.delay("k", 1)
+        d2 = policy.delay("k", 2)
+        d3 = policy.delay("k", 3)
+        # jitter scales into [0.5, 1.0) of the exponential base
+        assert 0.05 <= d1 < 0.1
+        assert 0.1 <= d2 < 0.2
+        assert 0.15 <= d3 < 0.3  # capped at max_delay before jitter
+
+    def test_jitter_is_deterministic(self):
+        a = RetryPolicy().delay("work-item", 2)
+        b = RetryPolicy().delay("work-item", 2)
+        assert a == b
+        assert RetryPolicy().delay("other-item", 2) != a
+
+    def test_retryable_classification(self):
+        policy = RetryPolicy()
+        assert policy.is_retryable(TransientError("x"))
+        assert not policy.is_retryable(PermanentError("x"))
+        assert not policy.is_retryable(ValueError("x"))
+        # an open breaker is a verdict, not a fault worth retrying
+        assert not policy.is_retryable(CircuitOpenError("x"))
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(base_delay=1.0, max_delay=0.5)
+
+
+class TestCircuitBreaker:
+    def _breaker(self, threshold=2, reset_s=10.0):
+        clock = FakeClock()
+        return CircuitBreaker(
+            failure_threshold=threshold, reset_s=reset_s, clock=clock
+        ), clock
+
+    def test_full_cycle_closed_open_half_open_closed(self):
+        breaker, clock = self._breaker()
+        assert breaker.state == CircuitBreaker.CLOSED and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED  # below threshold
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+        assert breaker.retry_after() == pytest.approx(10.0)
+        clock.advance(10.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # only one probe in flight
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.transitions == 3  # open -> half_open -> closed
+
+    def test_half_open_failure_reopens_with_fresh_window(self):
+        breaker, clock = self._breaker()
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()  # probe admitted
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.retry_after() == pytest.approx(10.0)  # window restarted
+
+    def test_success_resets_failure_streak(self):
+        breaker, _clock = self._breaker(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED  # streak broken
+
+    def test_check_raises_with_retry_after(self):
+        breaker, clock = self._breaker()
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(4.0)
+        with pytest.raises(CircuitOpenError) as err:
+            breaker.check("grid4x4|deadbeef")
+        assert err.value.retry_after == pytest.approx(6.0)
+
+    def test_snapshot(self):
+        breaker, _clock = self._breaker()
+        breaker.record_failure()
+        snap = breaker.snapshot()
+        assert snap["state"] == "closed" and snap["failures"] == 1
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(reset_s=0)

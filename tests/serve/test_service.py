@@ -340,3 +340,106 @@ class TestStdio:
         assert replies[2]["error"] == "bad_request"
         assert replies[3]["error"] == "bad_request"
         assert replies[4]["requests_total"] == 1
+
+    def test_oversized_line_answers_error_and_continues(self, service):
+        # A line beyond the reader's limit must not kill the session:
+        # structured error out, and the *next* line is still served.
+        lines = [
+            "x" * 4096,  # oversized garbage (no JSON needed)
+            json.dumps({"op": "healthz", "id": 9}),
+        ]
+        out: list[str] = []
+
+        async def go():
+            reader = asyncio.StreamReader(limit=256)
+            reader.feed_data(("\n".join(lines) + "\n").encode())
+            reader.feed_eof()
+            await serve_stdio(service, reader, out.append)
+
+        asyncio.run(go())
+        replies = [json.loads(line) for line in out]
+        assert replies[0]["error"] == "bad_request"
+        assert "size limit" in replies[0]["message"]
+        assert replies[1]["status_code"] == 200 and replies[1]["id"] == 9
+
+    def test_oversized_final_line_without_newline(self, service):
+        out: list[str] = []
+
+        async def go():
+            reader = asyncio.StreamReader(limit=256)
+            reader.feed_data(b"y" * 4096)  # torn stream, no terminator
+            reader.feed_eof()
+            await serve_stdio(service, reader, out.append)
+
+        asyncio.run(go())
+        assert json.loads(out[0])["error"] == "bad_request"
+
+
+class TestFailureStatusMapping:
+    def test_breaker_open_maps_to_503_with_retry_after(self, service):
+        body = _map_body(seed=2)
+        gkey = parse_request(body).group_key()
+        breaker = service.scheduler.breaker_for(gkey)
+        for _ in range(breaker.failure_threshold):
+            breaker.record_failure()
+        status, reply, headers = asyncio.run(service.handle("map", body))
+        assert status == 503
+        assert reply["error"] == "circuit_open"
+        assert float(headers["Retry-After"]) > 0
+
+    def test_transient_exhaustion_maps_to_503(self, service):
+        from repro.errors import TransientError
+        from repro.serve.retry import RetryPolicy
+
+        service.scheduler.retry = RetryPolicy(max_attempts=2, base_delay=0.001)
+        body = _map_body(seed=2)
+        pipe = service.scheduler.pipeline_for(parse_request(body))
+
+        def explode(*_a, **_k):
+            raise TransientError("injected")
+
+        pipe.run_batch = explode
+        status, reply, headers = asyncio.run(service.handle("map", body))
+        assert status == 503 and reply["error"] == "transient"
+        assert float(headers["Retry-After"]) > 0
+
+    def test_permanent_failure_maps_to_500(self, service):
+        from repro.errors import PermanentError
+
+        body = _map_body(seed=2)
+        pipe = service.scheduler.pipeline_for(parse_request(body))
+
+        def explode(*_a, **_k):
+            raise PermanentError("unrecoverable")
+
+        pipe.run_batch = explode
+        status, reply, _ = asyncio.run(service.handle("map", body))
+        assert status == 500 and reply["error"] == "permanent"
+
+    def test_allow_degraded_parses_and_flags_response(self, service):
+        request = parse_request(_map_body(allow_degraded=True))
+        assert request.allow_degraded
+        # a healthy group serves the full result: no degraded flag leaks
+        status, reply, _ = asyncio.run(
+            service.handle("map", _map_body(seed=3, allow_degraded=True))
+        )
+        assert status == 200 and "degraded" not in reply
+
+    def test_degraded_response_carries_flags(self, service):
+        body = _map_body(seed=6, allow_degraded=True)
+        status, first, _ = asyncio.run(service.handle("map", body))
+        assert status == 200
+        gkey = parse_request(body).group_key()
+        breaker = service.scheduler.breaker_for(gkey)
+        for _ in range(breaker.failure_threshold):
+            breaker.record_failure()
+        status, reply, _ = asyncio.run(service.handle("map", body))
+        assert status == 200
+        assert reply["degraded"] and reply["degraded_mode"] == "cached"
+        assert reply["mu"] == first["mu"]
+
+    def test_healthz_exposes_breakers_and_faults(self, service):
+        status, reply, _ = asyncio.run(service.handle("healthz", {}))
+        assert status == 200
+        assert reply["faults_active"] is False
+        assert isinstance(reply["breakers"], dict)
