@@ -81,16 +81,35 @@ class PipelineConfig:
     pre_verify: tuple[str, ...] = ()
     post_verify: tuple[str, ...] = ()
     reports: tuple[str, ...] = ()
+    #: Kernel backend this pipeline's runs execute under (a
+    #: ``kernel_backend`` registry name or ``"auto"``; ``""`` inherits
+    #: the process default -- see :func:`repro.core.backend.set_default_backend`).
+    backend: str = ""
 
     def __post_init__(self) -> None:
         if self.seed_policy not in ("stream", "raw"):
             raise ConfigurationError(
                 f"seed_policy must be 'stream' or 'raw', got {self.seed_policy!r}"
             )
+        if self.backend:
+            from repro.core.backend import resolve_backend_name
+
+            try:
+                resolve_backend_name(self.backend)
+            except ValueError as exc:
+                raise ConfigurationError(str(exc)) from None
 
     def identity(self) -> dict:
-        """JSON-able echo of every result-relevant knob."""
-        return asdict(self)  # recurses into the nested TimerConfig
+        """JSON-able echo of every result-relevant knob.
+
+        ``backend`` is deliberately **excluded**: every registered
+        backend is contracted byte-identical to the numpy reference, so
+        the same identity (and artifact-store cell) covers a run no
+        matter which execution tier computed it.
+        """
+        identity = asdict(self)  # recurses into the nested TimerConfig
+        identity.pop("backend", None)
+        return identity
 
 
 @dataclass
@@ -126,6 +145,9 @@ class PipelineResult:
     reports: dict = field(default_factory=dict)
     identity: dict = field(default_factory=dict)
     identity_hash: str = ""
+    #: Resolved kernel backend the run executed under (provenance only;
+    #: never part of ``identity`` -- backends are byte-identical).
+    backend: str = ""
 
     @property
     def elapsed_seconds(self) -> float:
@@ -250,7 +272,27 @@ class Pipeline:
         ``partition`` and ``mu`` short-circuit the corresponding stages
         (the experiment harness shares one partition across cases; the
         ``enhance`` CLI starts from a mapping file).
+
+        The whole run executes under ``config.backend`` (a thread-local
+        kernel-backend scope, so concurrent serve-tier runs with
+        different configs never leak into each other); the resolved
+        backend name is recorded on ``result.backend``.
         """
+        from repro.core.backend import get_backend, use_backend
+
+        with use_backend(self.config.backend or None):
+            result = self._run_stages(ga, mu=mu, partition=partition, seed=seed)
+            result.backend = get_backend()
+        return result
+
+    def _run_stages(
+        self,
+        ga: Graph,
+        *,
+        mu: np.ndarray | None = None,
+        partition: Partition | None = None,
+        seed: SeedLike = None,
+    ) -> PipelineResult:
         cfg = self.config
         topology = self.topology
         partition_given = partition is not None

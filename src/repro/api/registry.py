@@ -21,6 +21,8 @@ kind                 values
 ``scenario``         experiment sweep scenarios (``paper``, ...)
 ``verify``           pipeline verification hooks
 ``report``           pipeline report hooks
+``kernel_backend``   :class:`repro.core.backend.KernelBackend` instances
+                     (``numpy``, ``numba``, ``numba-parallel``)
 ===================  ====================================================
 
 This module is deliberately dependency-free (only :mod:`repro.errors`):
@@ -43,6 +45,7 @@ TOPOLOGY = "topology"
 SCENARIO = "scenario"
 VERIFY = "verify"
 REPORT = "report"
+KERNEL_BACKEND = "kernel_backend"
 
 
 class Registry:

@@ -122,6 +122,7 @@ def cmd_map(args) -> int:
             seed_policy="raw",
             post_verify=("mapping-valid",) + tuple(args.verify),
             reports=tuple(args.report),
+            backend=args.backend,
         ),
     )
     res = pipe.run(g, seed=args.seed)
@@ -150,6 +151,7 @@ def cmd_enhance(args) -> int:
             pre_verify=("mapping-valid",),
             post_verify=("balance-preserved",) + tuple(args.verify),
             reports=tuple(args.report),
+            backend=args.backend,
         ),
     )
     res = pipe.run(g, mu=mu, seed=args.seed)
@@ -189,6 +191,7 @@ def cmd_serve(args) -> int:
             breaker_threshold=args.breaker_threshold,
             breaker_reset_s=args.breaker_reset,
             faults=args.faults,
+            backend=args.backend,
         )
     )
 
@@ -243,6 +246,15 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("-o", "--out", default=None)
     q.set_defaults(fn=cmd_partition)
 
+    def add_backend_flag(parser) -> None:
+        parser.add_argument(
+            "--backend",
+            default="",
+            metavar="NAME",
+            help="kernel backend (numpy, numba, numba-parallel, auto); "
+            "default: auto-select, honouring repro.api.set_default_backend",
+        )
+
     def add_hook_flags(parser) -> None:
         parser.add_argument(
             "--verify",
@@ -268,6 +280,7 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--epsilon", type=float, default=0.03)
     q.add_argument("--seed", type=int, default=0)
     q.add_argument("-o", "--out", default=None)
+    add_backend_flag(q)
     add_hook_flags(q)
     q.set_defaults(fn=cmd_map)
 
@@ -279,6 +292,7 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--strategy", choices=["greedy", "kl"], default="greedy")
     q.add_argument("--seed", type=int, default=0)
     q.add_argument("-o", "--out", default=None)
+    add_backend_flag(q)
     add_hook_flags(q)
     q.set_defaults(fn=cmd_enhance)
 
@@ -322,6 +336,7 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--faults", default=None, metavar="JSON",
                    help="deterministic fault-injection plan (JSON; "
                    "overrides REPRO_FAULTS)")
+    add_backend_flag(q)
     q.set_defaults(fn=cmd_serve)
 
     q = sub.add_parser("loadgen", help="deterministic open-loop load generator")

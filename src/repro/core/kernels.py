@@ -46,22 +46,23 @@ which all contracted levels of unit-weight graphs are).
 
 Backend seam
 ------------
-``REPRO_KERNEL_BACKEND`` selects the implementation of the innermost
-segment reduction: ``numpy`` (default, always available) or ``numba``
-(an ``njit`` fast path, used only when numba imports).  ``auto`` picks
-numba when present.  The seam is deliberately tiny -- one function --
-so adding a C/Cython backend later only touches this module.
+The innermost kernels -- the per-vertex LSB reduction and the fixpoint
+solve -- dispatch through the :mod:`repro.core.backend` protocol
+(``kernel_backend`` registrations in the unified registry: ``numpy`` /
+``numba`` / ``numba-parallel``).  The legacy ``get_backend`` /
+``set_backend`` / ``available_backends`` names are kept here as thin
+shims over that module.
 """
 
 from __future__ import annotations
 
-import os
-
 import numpy as np
 
+from repro.core.backend import current_backend, resolve_backend_name, set_default_backend
+from repro.core.backend import available_backends  # noqa: F401  (re-exported shim)
 from repro.core.contraction import Level
 from repro.utils.bitops import argsort_labels, label_lsb
-from repro.utils.segments import build_csr, segment_sum
+from repro.utils.segments import build_csr
 
 __all__ = [
     "available_backends",
@@ -77,70 +78,22 @@ __all__ = [
     "batch_swap_pass",
 ]
 
+
 # ----------------------------------------------------------------------
-# Backend seam
+# Backend seam (compatibility shims over repro.core.backend)
 # ----------------------------------------------------------------------
-try:  # pragma: no cover - exercised only where numba is installed
-    import numba as _numba
-except ImportError:  # pragma: no cover
-    _numba = None
-
-_backend_override: str | None = None
-
-
-def available_backends() -> tuple[str, ...]:
-    """Backends usable in this process (``numpy`` always; ``numba`` if importable)."""
-    return ("numpy", "numba") if _numba is not None else ("numpy",)
-
-
 def get_backend() -> str:
-    """Resolve the active kernel backend.
-
-    Priority: :func:`set_backend` override, then the
-    ``REPRO_KERNEL_BACKEND`` environment variable (``numpy`` / ``numba`` /
-    ``auto``), then ``auto``.  ``auto`` means numba when available, else
-    numpy.  Requesting ``numba`` without numba installed silently falls
-    back to numpy -- the kernels are semantically identical.
-    """
-    choice = _backend_override or os.environ.get("REPRO_KERNEL_BACKEND", "auto")
-    choice = choice.lower()
-    if choice not in ("numpy", "numba", "auto"):
-        raise ValueError(
-            f"unknown kernel backend {choice!r}; expected numpy, numba or auto"
-        )
-    if choice == "auto":
-        return "numba" if _numba is not None else "numpy"
-    if choice == "numba" and _numba is None:
-        return "numpy"
-    return choice
+    """Resolved name of the active kernel backend (see ``repro.core.backend``)."""
+    return resolve_backend_name()
 
 
 def set_backend(name: str | None) -> None:
-    """Force a backend for this process (``None`` restores env/auto)."""
-    if name is not None and name.lower() not in ("numpy", "numba", "auto"):
-        raise ValueError(
-            f"unknown kernel backend {name!r}; expected numpy, numba or auto"
-        )
-    global _backend_override
-    _backend_override = name
+    """Force a process-default backend (``None`` restores env/auto).
 
-
-if _numba is not None:  # pragma: no cover - numba not in the CI image
-
-    @_numba.njit(cache=True)
-    def _vertex_lsb_sums_numba(lsb, indptr, indices, weights):
-        # Takes the per-vertex LSB array (not the labels) so the same
-        # kernel serves both the narrow and the wide representation.
-        n = lsb.shape[0]
-        out = np.zeros(n, dtype=np.float64)
-        for u in range(n):
-            lu = lsb[u]
-            acc = 0.0
-            for k in range(indptr[u], indptr[u + 1]):
-                x = lu ^ lsb[indices[k]]
-                acc += weights[k] * (1.0 - 2.0 * x)
-            out[u] = acc
-        return out
+    Shim over :func:`repro.core.backend.set_default_backend`, kept for
+    the historical ``core.kernels`` import path.
+    """
+    set_default_backend(name)
 
 
 # ----------------------------------------------------------------------
@@ -278,20 +231,10 @@ def vertex_lsb_sums(
     One gather + one segment reduction over the whole CSR -- this is the
     O(|E|) inner kernel of the batch swap pass.  Only the LSB of each
     label matters, so both width regimes reduce to the same int64 bit
-    array before any arithmetic.
+    array before any arithmetic (and before the backend dispatch).
     """
     b = label_lsb(labels)
-    if get_backend() == "numba":  # pragma: no cover - numba not in CI image
-        return _vertex_lsb_sums_numba(b, indptr, indices, weights)
-    # The source LSB is constant within a CSR segment, so instead of
-    # gathering per-entry source labels:
-    #   S[u] = W[u] - 2*T[u]  when b_u == 0
-    #   S[u] = 2*T[u] - W[u]  when b_u == 1
-    # with W the per-vertex weight sums and T the weight sums over
-    # neighbors whose LSB is set.
-    tw = segment_sum(weights * b[indices], indptr)
-    wtot = segment_sum(weights, indptr)
-    return np.where(b == 1, 2.0 * tw - wtot, wtot - 2.0 * tw)
+    return current_backend().vertex_lsb_sums(b, indptr, indices, weights)
 
 
 def batch_pair_deltas(
@@ -391,6 +334,7 @@ def batch_swap_pass(
     own, dst, src_keep, nbrs_keep, w_keep = pair_interactions(
         pairs, csr, n, ordered=True
     )
+    backend = current_backend()
     for _ in range(max(1, sweeps)):
         # Start-of-sweep gains for every pair in one vectorized pass.
         deltas0 = batch_pair_deltas(labels, pairs, csr, sign, pair_w)
@@ -398,17 +342,9 @@ def batch_swap_pass(
         c0 = sign * (w_keep * (1.0 - 2.0 * (b[src_keep] ^ b[nbrs_keep])))
         # Solve the sequential-sweep fixpoint by synchronous iteration:
         # the correct prefix of the decision vector grows every step, so
-        # at most k iterations -- in practice a handful.
-        swap = deltas0 < 0.0
-        deltas = deltas0
-        for _ in range(k + 1):
-            act = swap[dst]
-            corr = np.bincount(own[act], weights=c0[act], minlength=k)
-            deltas = deltas0 - 2.0 * corr
-            new_swap = deltas < 0.0
-            if np.array_equal(new_swap, swap):
-                break
-            swap = new_swap
+        # at most k iterations -- in practice a handful.  The solve is a
+        # backend kernel (compiled + thread-parallel on the numba tiers).
+        swap, deltas = backend.greedy_fixpoint(deltas0, own, dst, c0)
         cu, cv = pu[swap], pv[swap]
         if cu.size:
             tmp = labels[cu].copy()

@@ -42,6 +42,7 @@ import numpy as np
 
 from repro.api.pipeline import PipelineConfig
 from repro.api.registry import REGISTRY, TOPOLOGY, VERIFY
+from repro.core.backend import get_backend, set_default_backend
 from repro.core.config import TimerConfig
 from repro.errors import (
     CircuitOpenError,
@@ -128,7 +129,7 @@ register_admission_hook(None)
 _CONFIG_KEYS = {
     "partition", "initial_mapping", "case", "enhance", "epsilon",
     "seed_policy", "nh", "n_hierarchies", "strategy", "swap_strategy",
-    "verify", "report",
+    "verify", "report", "backend",
 }
 
 
@@ -161,6 +162,10 @@ def parse_config(
         pre_verify=(admission_hook,),
         post_verify=("mapping-valid",) + verify,
         reports=reports,
+        # Note: backend is excluded from PipelineConfig.identity(), so
+        # requests differing only in backend still share a batch group
+        # and a response-cache cell (the backends are byte-identical).
+        backend=str(payload.get("backend", "")),
     )
 
 
@@ -327,6 +332,7 @@ class MappingService:
             "cache": self.scheduler.cache.stats(),
             "breakers": self.scheduler.breaker_snapshot(),
             "faults_active": self.scheduler.faults.active,
+            "kernel_backend": get_backend(),
         }
         if self.scheduler.pool is not None:
             body["pool"] = self.scheduler.pool.stats()
@@ -344,6 +350,7 @@ class MappingService:
             "cache_disk_stores": stats["disk"]["stores"],
             "cache_disk_corrupt": stats["disk"]["corrupt"],
             "labelings_computed": stats["labelings_computed"],
+            "kernel_backend": get_backend(),
         }
 
     def record_response(self, status: int) -> None:
@@ -511,60 +518,81 @@ async def serve_stdio(
 
     Requests carry ``{"op": "map" | "enhance" | "batch" | "healthz" |
     "metrics", "id": <echoed>, ...body}``; ``op`` defaults to ``map``.
-    Lines are processed strictly in order (each awaited before the next
-    is read), so embedders that want window batching send one ``op:
-    batch`` line rather than many concurrent lines.
+    Requests are **pipelined**: each valid line is dispatched as its own
+    task and its response line is written as soon as the handler
+    finishes, so many map lines sent back-to-back share one batching
+    window exactly like concurrent HTTP posts.  Responses may therefore
+    return out of submission order -- embedders sending more than one
+    in-flight request must tag each line with an ``id`` and match
+    responses by the echoed ``id``, not by position.
 
     A malformed or oversized line answers with a structured error and
     the loop continues -- one bad request must never terminate the
     session (the embedder would lose every request behind it).
     """
-    while True:
-        try:
-            # readuntil, not readline: readline's overrun handling
-            # clears the whole buffer, which would also discard healthy
-            # requests already queued behind the oversized line.
-            raw = await reader.readuntil(b"\n")
-        except asyncio.IncompleteReadError as exc:
-            raw = exc.partial  # final line without a terminator
-        except (asyncio.LimitOverrunError, ValueError):
-            # Line exceeds the reader's buffer limit: discard through
-            # the next newline so the stream resynchronizes, then
-            # answer with a structured error instead of dying.
-            eof = await _drain_oversized_line(reader)
-            write_line(json.dumps({
-                "ok": False, "error": "bad_request",
-                "message": "request line exceeds the size limit",
-            }))
-            if eof:
-                return
-            continue
-        if not raw:
-            return
-        line = raw.decode("utf-8", errors="replace").strip()
-        if not line:
-            continue
-        try:
-            payload = json.loads(line)
-        except json.JSONDecodeError as exc:
-            write_line(json.dumps({"ok": False, "error": "bad_request",
-                                   "message": f"invalid JSON: {exc}"}))
-            continue
-        if not isinstance(payload, dict):
-            write_line(json.dumps({"ok": False, "error": "bad_request",
-                                   "message": "request line must be a JSON "
-                                   "object"}))
-            continue
+    tasks: set[asyncio.Task] = set()
+
+    async def dispatch(payload: dict) -> None:
         op = str(payload.get("op", "map"))
         status, body, _headers = await service.handle(op, payload)
         if isinstance(body, str):
             body = {"ok": status == 200, "text": body}
-        if isinstance(payload, dict) and "id" in payload:
+        if "id" in payload:
             body = {**body, "id": payload["id"]}
         service.record_response(status)
         # "status_code", not "status": healthz bodies carry their own
         # "status": "ok" field which must survive the wrapping.
         write_line(json.dumps({"status_code": status, **body}))
+
+    def submit(payload: dict) -> None:
+        task = asyncio.ensure_future(dispatch(payload))
+        tasks.add(task)
+        task.add_done_callback(tasks.discard)
+
+    try:
+        while True:
+            try:
+                # readuntil, not readline: readline's overrun handling
+                # clears the whole buffer, which would also discard
+                # healthy requests already queued behind the oversized
+                # line.
+                raw = await reader.readuntil(b"\n")
+            except asyncio.IncompleteReadError as exc:
+                raw = exc.partial  # final line without a terminator
+            except (asyncio.LimitOverrunError, ValueError):
+                # Line exceeds the reader's buffer limit: discard
+                # through the next newline so the stream resynchronizes,
+                # then answer with a structured error instead of dying.
+                eof = await _drain_oversized_line(reader)
+                write_line(json.dumps({
+                    "ok": False, "error": "bad_request",
+                    "message": "request line exceeds the size limit",
+                }))
+                if eof:
+                    return
+                continue
+            if not raw:
+                return
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                write_line(json.dumps({"ok": False, "error": "bad_request",
+                                       "message": f"invalid JSON: {exc}"}))
+                continue
+            if not isinstance(payload, dict):
+                write_line(json.dumps({"ok": False, "error": "bad_request",
+                                       "message": "request line must be a "
+                                       "JSON object"}))
+                continue
+            submit(payload)
+    finally:
+        # EOF: finish what was admitted (responses the embedder is
+        # still owed) before returning control to the caller.
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
 
 
 # ----------------------------------------------------------------------
@@ -595,9 +623,16 @@ class ServeSettings:
     #: ``None`` falls back to the ``REPRO_FAULTS`` environment variable
     faults: str | None = None
     response_cache: int = 128
+    #: process-default kernel backend ("" = auto); per-request configs
+    #: can still name their own (``config.backend`` on the wire)
+    backend: str = ""
 
 
 def build_service(settings: ServeSettings) -> MappingService:
+    if settings.backend:
+        # Validates the name up front (bad --backend fails at boot, not
+        # on the first request) and becomes the process-wide default.
+        set_default_backend(settings.backend)
     cache = TopologyCache(
         max_sessions=settings.max_sessions, disk_dir=settings.labeling_cache
     )

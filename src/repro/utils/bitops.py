@@ -42,18 +42,17 @@ MAX_LABEL_BITS = 63
 #: Bits per word of the wide representation.
 WORD_BITS = 64
 
-#: Popcounts of all byte values; powers the numpy < 2.0 fallback.
+#: Popcounts of all byte values; powers the byte-LUT reference fallback.
 _POPCOUNT_TABLE = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
 
 
 def _bitwise_count_fallback(x) -> np.ndarray:
-    """Per-element popcount via a byte lookup table.
+    """Per-element popcount via a byte lookup table (reference fallback).
 
-    ``np.bitwise_count`` only exists from numpy 2.0; this fallback views
-    each 64-bit word as 8 bytes and sums table lookups, which is the
-    fastest pure-numpy construction (cf. the classic unpackbits/LUT
-    trick).  Only non-negative values are meaningful for the int64 case
-    -- labels never go negative.
+    Views each 64-bit word as 8 bytes and sums table lookups.  Kept as
+    the ground truth the SWAR path is tested against; only non-negative
+    values are meaningful for the int64 case -- labels never go
+    negative.
     """
     arr = np.atleast_1d(np.asarray(x))
     if arr.dtype != np.uint64:
@@ -66,8 +65,41 @@ def _bitwise_count_fallback(x) -> np.ndarray:
     return out
 
 
-#: ``bitwise_count(x)``: per-element popcount, native on numpy >= 2.0.
-bitwise_count = getattr(np, "bitwise_count", _bitwise_count_fallback)
+_SWAR_M1 = np.uint64(0x5555555555555555)
+_SWAR_M2 = np.uint64(0x3333333333333333)
+_SWAR_M4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+_SWAR_H01 = np.uint64(0x0101010101010101)
+
+
+def _bitwise_count_swar(x) -> np.ndarray:
+    """Per-element popcount via SWAR arithmetic (numpy < 2.0 fast path).
+
+    The classic SIMD-within-a-register construction: six full-width
+    vector operations per word, no gathers, so numpy's elementwise loops
+    vectorize it -- measured ~3x over the byte-LUT fallback.  Exact for
+    the whole uint64 range (the final multiply wraps mod 2**64 by
+    design).
+    """
+    arr = np.atleast_1d(np.asarray(x))
+    if arr.dtype == np.uint64:
+        v = arr.copy()
+    elif arr.dtype == np.int64:
+        # Labels are non-negative, so the uint64 view is value-exact.
+        v = np.ascontiguousarray(arr).view(np.uint64).copy()
+    else:
+        v = arr.astype(np.uint64)
+    v -= (v >> np.uint64(1)) & _SWAR_M1
+    v = (v & _SWAR_M2) + ((v >> np.uint64(2)) & _SWAR_M2)
+    v = (v + (v >> np.uint64(4))) & _SWAR_M4
+    out = ((v * _SWAR_H01) >> np.uint64(56)).astype(np.int64)
+    if np.ndim(x) == 0:
+        return out.reshape(())
+    return out
+
+
+#: ``bitwise_count(x)``: per-element popcount -- native on numpy >= 2.0,
+#: the SWAR construction otherwise.
+bitwise_count = getattr(np, "bitwise_count", _bitwise_count_swar)
 
 
 def popcount(x: np.ndarray) -> np.ndarray:
@@ -195,12 +227,13 @@ def popcount_labels(x: np.ndarray) -> np.ndarray:
     """Per-label popcount: one int per label row in either representation.
 
     Accepts any array whose *last* axis is the word axis for wide input
-    (so pairwise ``(n, n, W)`` XOR tensors reduce correctly).
+    (so pairwise ``(n, n, W)`` XOR tensors reduce correctly).  Dispatches
+    through the active kernel backend (the numba tiers run a compiled
+    SWAR reduction over the word axis).
     """
-    x = np.asarray(x)
-    if x.ndim >= 2 and x.dtype == np.uint64:
-        return bitwise_count(x).sum(axis=-1, dtype=np.int64)
-    return bitwise_count(x)
+    from repro.core.backend import current_backend
+
+    return current_backend().popcount_labels(x)
 
 
 def hamming_labels(a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -211,20 +244,14 @@ def hamming_labels(a: np.ndarray, b: np.ndarray) -> np.ndarray:
 def pairwise_hamming(labels: np.ndarray, block: int = 256) -> np.ndarray:
     """``(n, n)`` Hamming distance matrix of a label array.
 
-    Row-blocked so the wide case never materializes the full
-    ``(n, n, W)`` XOR tensor at once.
+    Dispatches through the active kernel backend: the numpy reference is
+    row-blocked so the wide case never materializes the full
+    ``(n, n, W)`` XOR tensor at once; the numba tiers run a compiled
+    SWAR loop with no intermediate tensors at all.
     """
-    labels = np.asarray(labels)
-    n = labels.shape[0]
-    if labels.ndim == 1:
-        return bitwise_count(labels[:, None] ^ labels[None, :])
-    out = np.empty((n, n), dtype=np.int64)
-    for lo in range(0, n, block):
-        hi = min(lo + block, n)
-        out[lo:hi] = bitwise_count(
-            labels[lo:hi, None, :] ^ labels[None, :, :]
-        ).sum(axis=-1, dtype=np.int64)
-    return out
+    from repro.core.backend import current_backend
+
+    return current_backend().pairwise_hamming(labels, block=block)
 
 
 def label_mask(width: int, labels: np.ndarray) -> "int | np.ndarray":
@@ -352,10 +379,14 @@ def label_sort_keys(labels: np.ndarray) -> np.ndarray:
 #: argsort wins on constant factors.  Tuned on the bench_micro workload.
 RADIX_SORT_THRESHOLD = 256
 
-#: The radix path pays one full stable sort pass per word, while the
-#: void path's memcmp usually exits on the first differing byte, so
-#: lexsort only wins while the pass count stays small (measured: ~1.2 -
-#: 2.3x faster at W <= 2, ~0.7x at W = 4 across n = 256 .. 5e5).
+#: The radix path pays one full stable sort pass per *varying* word,
+#: while the void path's memcmp usually exits on the first differing
+#: byte, so lexsort only wins while the pass count stays small
+#: (measured: ~1.2 - 2.3x faster at <= 2 varying words, ~0.7x at 4,
+#: across n = 256 .. 5e5).  Constant word columns cannot affect a
+#: stable order, so the regime is counted over varying columns -- which
+#: extends the fast path to any total W (e.g. contracted hierarchy
+#: levels, whose high words are all zero).
 RADIX_SORT_MAX_WORDS = 2
 
 
@@ -365,23 +396,15 @@ def argsort_labels(labels: np.ndarray) -> np.ndarray:
     Narrow labels use numpy's integer sort directly.  Wide labels order
     by their big-endian byte keys (:func:`label_sort_keys`); at or above
     :data:`RADIX_SORT_THRESHOLD` rows with at most
-    :data:`RADIX_SORT_MAX_WORDS` words the memcmp-based void argsort is
-    replaced by a radix-style pass -- ``np.lexsort`` over the word
-    columns, least significant first, which runs one fast integer sort
-    per word instead of ``O(n log n)`` multi-byte comparisons.  All
-    paths are stable, so they produce the identical permutation.
+    :data:`RADIX_SORT_MAX_WORDS` *varying* words the memcmp-based void
+    argsort is replaced by a radix-style pass -- ``np.lexsort`` over the
+    varying word columns, least significant first.  All paths are
+    stable, so they produce the identical permutation; the choice
+    dispatches through the active kernel backend.
     """
-    labels = np.asarray(labels)
-    if labels.ndim == 1:
-        return np.argsort(labels, kind="stable")
-    if (
-        labels.shape[0] >= RADIX_SORT_THRESHOLD
-        and labels.shape[1] <= RADIX_SORT_MAX_WORDS
-    ):
-        # lexsort keys run least- to most-significant; word W-1 is the
-        # most significant, so the columns go in natural word order.
-        return np.lexsort(labels.T)
-    return np.argsort(label_sort_keys(labels), kind="stable")
+    from repro.core.backend import current_backend
+
+    return current_backend().argsort_labels(labels)
 
 
 def labels_equal_rows(a: np.ndarray, b: np.ndarray) -> np.ndarray:

@@ -1,0 +1,244 @@
+"""Backend equivalence: every kernel backend is byte-identical to numpy.
+
+The ``kernel_backend`` registry contract (``repro.core.backend``) is
+*byte identity*, not approximate agreement: for integer-valued edge
+weights, every registered backend must produce exactly the numpy
+reference's swap decisions, gains, distance matrices, sort orders and
+labelings.  The suite parametrizes over ``available_backends()`` -- on
+a plain numpy host that is just the reference checking itself, while
+the CI numba leg (where numba imports) runs the real serial and
+parallel compiled tiers through the identical assertions.
+
+Every test computes once under ``use_backend("numpy")`` and once under
+the candidate backend and compares with ``array_equal`` / ``==`` --
+never ``allclose``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.backend import available_backends, current_backend, use_backend
+from repro.core.contraction import contract_level, make_finest_level
+from repro.core.kernels import batch_swap_pass, level_csr, vertex_lsb_sums
+from repro.core.swaps import kl_swap_pass
+from repro.graphs import generators as gen
+from repro.graphs.algorithms import all_pairs_distances
+from repro.graphs.builder import from_edges
+from repro.partialcube.djokovic import djokovic_classes, partial_cube_labeling
+from repro.utils.bitops import (
+    argsort_labels,
+    pairwise_hamming,
+    popcount_labels,
+    widen_labels,
+)
+
+BACKENDS = available_backends()
+
+
+def _random_level(g, rng, dim=9, wide_words=None):
+    labels = rng.choice(1 << dim, size=g.n, replace=False).astype(np.int64)
+    if wide_words is not None:
+        labels = widen_labels(labels, wide_words)
+    us, vs, ws = g.edge_arrays()
+    return make_finest_level((us, vs, ws), labels)
+
+
+def _fresh(level):
+    return make_finest_level((level.us, level.vs, level.ws), level.labels.copy())
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    with use_backend(request.param):
+        yield request.param
+
+
+class TestSelection:
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_use_backend_activates(self, name):
+        with use_backend(name):
+            assert current_backend().name == name
+
+
+class TestSwapPass:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_narrow_byte_identical(self, backend, seed):
+        rng = np.random.default_rng(seed)
+        g = gen.barabasi_albert(100 + 15 * seed, 3, seed=seed)
+        base = _random_level(g, rng)
+        sign = 1 if seed % 2 == 0 else -1
+        la, lb = _fresh(base), _fresh(base)
+        with use_backend("numpy"):
+            ra = batch_swap_pass(la, sign, sweeps=2)
+        rb = batch_swap_pass(lb, sign, sweeps=2)
+        assert ra == rb
+        assert np.array_equal(la.labels, lb.labels)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_wide_byte_identical(self, backend, seed):
+        rng = np.random.default_rng(100 + seed)
+        g = gen.barabasi_albert(90 + 10 * seed, 3, seed=seed)
+        base = _random_level(g, rng, wide_words=3)
+        la, lb = _fresh(base), _fresh(base)
+        with use_backend("numpy"):
+            ra = batch_swap_pass(la, -1, sweeps=2)
+        rb = batch_swap_pass(lb, -1, sweeps=2)
+        assert ra == rb
+        assert np.array_equal(la.labels, lb.labels)
+
+    def test_down_a_contraction_chain(self, backend):
+        g = gen.barabasi_albert(300, 4, seed=3)
+        rng = np.random.default_rng(3)
+        lvl = _random_level(g, rng, dim=10)
+        while lvl.n > 2:
+            la, lb = _fresh(lvl), _fresh(lvl)
+            with use_backend("numpy"):
+                ra = batch_swap_pass(la, -1, sweeps=2)
+            rb = batch_swap_pass(lb, -1, sweeps=2)
+            assert ra == rb
+            assert np.array_equal(la.labels, lb.labels)
+            lvl = contract_level(lvl)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_kl_swap_pass_byte_identical(self, backend, seed):
+        rng = np.random.default_rng(200 + seed)
+        g = gen.barabasi_albert(110 + 10 * seed, 3, seed=seed)
+        base = _random_level(g, rng)
+        la, lb = _fresh(base), _fresh(base)
+        with use_backend("numpy"):
+            ra = kl_swap_pass(la, 1, sweeps=2)
+        rb = kl_swap_pass(lb, 1, sweeps=2)
+        assert ra == rb
+        assert np.array_equal(la.labels, lb.labels)
+
+    def test_vertex_lsb_sums(self, backend):
+        rng = np.random.default_rng(7)
+        g = gen.barabasi_albert(150, 3, seed=7)
+        lvl = _random_level(g, rng)
+        indptr, indices, weights = level_csr(lvl)
+        with use_backend("numpy"):
+            ref = vertex_lsb_sums(lvl.labels, indptr, indices, weights)
+        got = vertex_lsb_sums(lvl.labels, indptr, indices, weights)
+        assert np.array_equal(ref, got)
+
+
+class TestGraphKernels:
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda: gen.grid(7, 9),
+            lambda: gen.hypercube(6),
+            lambda: gen.torus(4, 6),
+            lambda: gen.random_tree(130, seed=2),
+            lambda: gen.barabasi_albert(128, 3, seed=5),
+            # > 64 vertices forces multiple bitset words per shard
+            lambda: gen.path(130),
+        ],
+    )
+    def test_all_pairs_distances(self, backend, maker):
+        g = maker()
+        with use_backend("numpy"):
+            ref = all_pairs_distances(g)
+        got = all_pairs_distances(g)
+        assert got.dtype == ref.dtype
+        assert np.array_equal(ref, got)
+
+    def test_all_pairs_disconnected(self, backend):
+        # two components: cross-component entries must all stay -1
+        g = from_edges(7, [(0, 1), (1, 2), (3, 4), (4, 5), (5, 6)])
+        with use_backend("numpy"):
+            ref = all_pairs_distances(g)
+        got = all_pairs_distances(g)
+        assert np.array_equal(ref, got)
+        assert (got[:3, 3:] == -1).all() and (got[3:, :3] == -1).all()
+
+    def test_all_pairs_trivial_sizes(self, backend):
+        for edges, n in [([], 0), ([], 1), ([(0, 1)], 2)]:
+            g = from_edges(n, edges)
+            with use_backend("numpy"):
+                ref = all_pairs_distances(g)
+            assert np.array_equal(ref, all_pairs_distances(g))
+
+
+class TestLabelKernels:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_argsort_narrow_with_duplicates(self, backend, seed):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 50, size=1000).astype(np.int64)
+        with use_backend("numpy"):
+            ref = argsort_labels(labels)
+        got = argsort_labels(labels)
+        # stability makes the permutation unique, so exact equality
+        assert np.array_equal(ref, got)
+
+    @pytest.mark.parametrize("width,varying", [(2, 2), (4, 2), (4, 4), (6, 1)])
+    def test_argsort_wide(self, backend, width, varying):
+        rng = np.random.default_rng(width * 10 + varying)
+        n = 800
+        labels = np.zeros((n, width), dtype=np.uint64)
+        cols = rng.choice(width, size=varying, replace=False)
+        labels[:, cols] = rng.integers(0, 8, size=(n, varying)).astype(np.uint64)
+        with use_backend("numpy"):
+            ref = argsort_labels(labels)
+        got = argsort_labels(labels)
+        assert np.array_equal(ref, got)
+
+    def test_popcount_narrow_and_wide(self, backend):
+        rng = np.random.default_rng(11)
+        narrow = rng.integers(0, 1 << 62, size=500).astype(np.int64)
+        wide = rng.integers(0, 1 << 62, size=(300, 4)).astype(np.uint64)
+        with use_backend("numpy"):
+            ref_n = popcount_labels(narrow)
+            ref_w = popcount_labels(wide)
+        assert np.array_equal(ref_n, popcount_labels(narrow))
+        assert np.array_equal(ref_w, popcount_labels(wide))
+
+    def test_pairwise_hamming_narrow_and_wide(self, backend):
+        rng = np.random.default_rng(13)
+        narrow = rng.integers(0, 1 << 62, size=300).astype(np.int64)
+        wide = rng.integers(0, 1 << 62, size=(300, 3)).astype(np.uint64)
+        with use_backend("numpy"):
+            ref_n = pairwise_hamming(narrow)
+            ref_w = pairwise_hamming(wide)
+        assert np.array_equal(ref_n, pairwise_hamming(narrow))
+        assert np.array_equal(ref_w, pairwise_hamming(wide))
+
+    def test_pairwise_hamming_crosses_blocks(self, backend):
+        # n > block: the row-blocked wide path must tile correctly
+        rng = np.random.default_rng(17)
+        wide = rng.integers(0, 1 << 62, size=(600, 2)).astype(np.uint64)
+        with use_backend("numpy"):
+            ref = pairwise_hamming(wide, block=256)
+        assert np.array_equal(ref, pairwise_hamming(wide, block=256))
+
+
+class TestLabeling:
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda: gen.grid(5, 5),
+            lambda: gen.hypercube(5),
+            lambda: gen.random_tree(90, seed=8),  # wide: 89 classes
+            lambda: gen.fat_tree(2, 6),
+        ],
+    )
+    def test_partial_cube_labeling_byte_identical(self, backend, maker):
+        g = maker()
+        with use_backend("numpy"):
+            ref = partial_cube_labeling(g)
+        got = partial_cube_labeling(g)
+        assert ref.dim == got.dim
+        assert ref.labels.dtype == got.labels.dtype
+        assert np.array_equal(ref.labels, got.labels)
+        assert all(
+            np.array_equal(a, b) for a, b in zip(ref.cut_edges, got.cut_edges)
+        )
+
+    def test_djokovic_classes_byte_identical(self, backend):
+        g = gen.grid(6, 6)
+        dist = all_pairs_distances(g)
+        with use_backend("numpy"):
+            ec_ref, cls_ref = djokovic_classes(g, dist)
+        ec, cls = djokovic_classes(g, dist)
+        assert np.array_equal(ec_ref, ec)
+        assert cls_ref == cls

@@ -132,7 +132,12 @@ class TestPaperTopologies:
         assert partial_cube_labeling(g).dim == dim
 
 
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 class TestVectorizedMatchesLoop:
+    # method= is a deprecation shim now (the strategy choice moved into
+    # the kernel backend); these tests keep pinning it to prove the
+    # explicit strategies stay equivalent.
+
     """The batched side-test implementation must reproduce the sequential
     per-class loop exactly on partial cubes (trees, grids, hypercubes)."""
 
@@ -177,6 +182,11 @@ class TestVectorizedMatchesLoop:
     def test_rejects_unknown_method(self, small_grid):
         with pytest.raises(ValueError):
             djokovic_classes(small_grid, method="gpu")
+
+    @pytest.mark.filterwarnings("error::DeprecationWarning")
+    def test_method_kwarg_warns_deprecation(self, small_grid):
+        with pytest.warns(DeprecationWarning, match="kernel backend"):
+            djokovic_classes(small_grid, method="auto")
 
     def test_vectorized_detects_overlap(self):
         g = from_edges(5, [(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4)])

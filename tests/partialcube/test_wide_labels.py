@@ -35,6 +35,7 @@ class TestRandomTrees:
         assert labeling_distance_error(t, pc.labels) == 0
 
     @pytest.mark.parametrize("n,seed", [(110, 3), (170, 4)])
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")  # pinned method=
     def test_labels_match_reference_classes(self, n, seed):
         t = _random_tree(n, seed)
         dist = all_pairs_distances(t)
