@@ -33,7 +33,8 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import asdict, dataclass, field, replace
-from typing import Any, Sequence
+from collections.abc import Sequence
+from typing import Any, ClassVar
 
 import numpy as np
 
@@ -86,6 +87,15 @@ class PipelineConfig:
     #: the process default -- see :func:`repro.core.backend.set_default_backend`).
     backend: str = ""
 
+    #: Fields deliberately **excluded** from :meth:`identity` -- the
+    #: explicit list the CFG001 lint rule checks, so "this knob cannot
+    #: change results" is a reviewed decision, not a silent ``.pop()``.
+    #: ``backend``: every registered kernel backend is contracted
+    #: byte-identical to the numpy reference (the equivalence suite
+    #: enforces it), so one identity / artifact cell covers a run no
+    #: matter which execution tier computed it.
+    IDENTITY_EXCLUDED: ClassVar[frozenset[str]] = frozenset({"backend"})
+
     def __post_init__(self) -> None:
         if self.seed_policy not in ("stream", "raw"):
             raise ConfigurationError(
@@ -102,13 +112,13 @@ class PipelineConfig:
     def identity(self) -> dict:
         """JSON-able echo of every result-relevant knob.
 
-        ``backend`` is deliberately **excluded**: every registered
-        backend is contracted byte-identical to the numpy reference, so
-        the same identity (and artifact-store cell) covers a run no
-        matter which execution tier computed it.
+        Every field is included except the members of
+        :data:`IDENTITY_EXCLUDED`, whose rationale lives on that
+        declaration (and whose coverage the CFG001 lint rule enforces).
         """
         identity = asdict(self)  # recurses into the nested TimerConfig
-        identity.pop("backend", None)
+        for excluded in self.IDENTITY_EXCLUDED:
+            identity.pop(excluded, None)
         return identity
 
 
@@ -209,9 +219,9 @@ class Pipeline:
         topology: "Topology | Graph | str",
         config: PipelineConfig | None = None,
         *,
-        partition_stage=None,
-        mapping_stage=None,
-        enhance_stage=None,
+        partition_stage: Any = None,
+        mapping_stage: Any = None,
+        enhance_stage: Any = None,
         registry: Registry = REGISTRY,
     ) -> None:
         self.topology = Topology.from_spec(topology)
@@ -475,7 +485,7 @@ class Pipeline:
 
     # -- internals -----------------------------------------------------
     @staticmethod
-    def _run_hooks(hooks, ctx: StageContext) -> None:
+    def _run_hooks(hooks: Sequence[tuple[str, Any]], ctx: StageContext) -> None:
         for _name, hook in hooks:
             hook(ctx)
 
@@ -529,7 +539,7 @@ class Pipeline:
             None if self.registry is REGISTRY else self.registry,
         )
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple:
         # Explicit stage instances survive when they are picklable --
         # all built-ins are.
         return (_rebuild_pipeline, self._pickle_payload())
@@ -569,8 +579,14 @@ _BATCH_PIPELINE: "Pipeline | None" = None
 
 
 def _rebuild_pipeline(
-    graph, labeling, distances, name, config, stage_overrides, registry=None
-):
+    graph: Graph,
+    labeling: Any,
+    distances: "np.ndarray | None",
+    name: str,
+    config: PipelineConfig,
+    stage_overrides: dict,
+    registry: "Registry | None" = None,
+) -> "Pipeline":
     """Reconstruct a Pipeline from its picklable payload (see __reduce__)."""
     topology = Topology.from_graph(graph, labeling=labeling, name=name)
     topology._distances = distances
@@ -582,10 +598,11 @@ def _rebuild_pipeline(
     )
 
 
-def _batch_worker_init(payload) -> None:
+def _batch_worker_init(payload: tuple) -> None:
     global _BATCH_PIPELINE
     _BATCH_PIPELINE = _rebuild_pipeline(*payload)
 
 
-def _batch_worker_run(ga: Graph, seed) -> PipelineResult:
+def _batch_worker_run(ga: Graph, seed: SeedLike) -> PipelineResult:
+    assert _BATCH_PIPELINE is not None, "worker used before initializer ran"
     return _BATCH_PIPELINE.run(ga, seed=seed)

@@ -33,7 +33,8 @@ other way around, so there are no import cycles.
 from __future__ import annotations
 
 from collections.abc import MutableMapping
-from typing import Any, Callable, Iterable
+from collections.abc import Callable, Iterable, Iterator
+from typing import Any
 
 from repro.errors import ConfigurationError
 
@@ -82,7 +83,7 @@ class Registry:
         value: Any = None,
         *,
         overwrite: bool = False,
-    ):
+    ) -> Any:
         """Register ``value`` under ``(kind, name)``.
 
         Without ``value`` this returns a decorator, with ``name``
@@ -93,7 +94,7 @@ class Registry:
         """
         if value is None:
 
-            def decorator(obj):
+            def decorator(obj: Any) -> Any:
                 self.register(
                     kind, name or getattr(obj, "__name__", None), obj,
                     overwrite=overwrite,
@@ -194,7 +195,7 @@ class RegistryView(MutableMapping):
             raise KeyError(key)
         self._registry.unregister(self._kind, key)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[str]:
         return iter(self._registry.names(self._kind))
 
     def __len__(self) -> int:
@@ -204,6 +205,7 @@ class RegistryView(MutableMapping):
         return f"RegistryView({self._kind!r}, {dict(self)!r})"
 
 
-def register_topology(name: str, builder: Callable, *, overwrite: bool = False):
+def register_topology(name: str, builder: Callable, *, overwrite: bool = False) -> Callable:
     """Convenience wrapper: register a processor-graph builder."""
+    # repro: allow[REG001] reason=this IS the sanctioned public registration entry point; callers invoke it from their own module import scope
     return REGISTRY.register(TOPOLOGY, name, builder, overwrite=overwrite)

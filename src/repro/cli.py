@@ -11,6 +11,8 @@ without writing Python:
 - ``serve``                       -- long-running batching mapping service
                                      (JSON over HTTP, or --stdio JSON lines)
 - ``loadgen URL``                 -- deterministic open-loop load generator
+- ``lint [PATHS]``                -- AST lint enforcing the repo contracts
+                                     (see ``docs/development.md``)
 
 ``TOPOLOGY`` is either a registered name (``grid16x16``, ``torus8x8x8``,
 ``hq8``, ... -- see the unified registry, kind ``topology``) or a path to
@@ -33,6 +35,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.analysis.cli import add_lint_arguments, run_lint
 from repro.api.pipeline import Pipeline, PipelineConfig
 from repro.api.topology import Topology
 from repro.core.config import TimerConfig
@@ -363,6 +366,14 @@ def build_parser() -> argparse.ArgumentParser:
                    "degradation ladder (cached / no-enhance results)")
     q.add_argument("--out", default=None, help="write the JSON report here")
     q.set_defaults(fn=cmd_loadgen)
+
+    q = sub.add_parser(
+        "lint",
+        help="AST lint enforcing the repo's determinism / backend-dispatch "
+        "/ serve-hygiene contracts (see docs/development.md)",
+    )
+    add_lint_arguments(q)
+    q.set_defaults(fn=run_lint)
     return p
 
 

@@ -52,7 +52,7 @@ import os
 import threading
 import warnings
 from contextlib import contextmanager
-from typing import Iterator
+from collections.abc import Iterator
 
 import numpy as np
 

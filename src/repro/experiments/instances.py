@@ -15,7 +15,7 @@ and regenerated deterministically from ``(name, seed)``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 

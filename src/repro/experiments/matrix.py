@@ -96,7 +96,7 @@ def load_matrix(path: str | Path) -> dict[str, Scenario]:
         with open(path, "rb") as f:
             raw = tomllib.load(f)
     elif path.suffix == ".json":
-        with open(path, "r", encoding="utf-8") as f:
+        with open(path, encoding="utf-8") as f:
             raw = json.load(f)
     else:
         raise ConfigurationError(
@@ -123,52 +123,51 @@ def load_matrix(path: str | Path) -> dict[str, Scenario]:
     return scenarios
 
 
-def _register_builtins() -> None:
-    paper = ExperimentConfig()
-    for scenario in (
-        Scenario("paper", paper, "the paper's five topologies at laptop scale"),
-        Scenario(
-            "widened",
-            replace(paper, topologies=PAPER_TOPOLOGIES + WIDENED_TOPOLOGIES),
-            "paper grid plus fat-tree, dragonfly and anisotropic 3-D torus",
+# Built-in scenarios register at module import scope (REG001): the
+# registry's contents must never depend on who called what, when.
+_paper = ExperimentConfig()
+for _scenario in (
+    Scenario("paper", _paper, "the paper's five topologies at laptop scale"),
+    Scenario(
+        "widened",
+        replace(_paper, topologies=PAPER_TOPOLOGIES + WIDENED_TOPOLOGIES),
+        "paper grid plus fat-tree, dragonfly and anisotropic 3-D torus",
+    ),
+    Scenario(
+        "smoke",
+        ExperimentConfig(
+            # fattree4x3 (85 PEs, 84 Djokovic classes) keeps one
+            # wide-label topology in every smoke sweep.
+            instances=("p2p-Gnutella", "PGPgiantcompo"),
+            topologies=("grid4x4", "hq4", "dragonfly4x2", "fattree4x3"),
+            cases=("c2", "c4"),
+            repetitions=1,
+            n_hierarchies=2,
+            divisor=1024,
+            n_min=128,
+            n_max=192,
         ),
-        Scenario(
-            "smoke",
-            ExperimentConfig(
-                # fattree4x3 (85 PEs, 84 Djokovic classes) keeps one
-                # wide-label topology in every smoke sweep.
-                instances=("p2p-Gnutella", "PGPgiantcompo"),
-                topologies=("grid4x4", "hq4", "dragonfly4x2", "fattree4x3"),
-                cases=("c2", "c4"),
-                repetitions=1,
-                n_hierarchies=2,
-                divisor=1024,
-                n_min=128,
-                n_max=192,
-            ),
-            "minutes-scale end-to-end check (CI, demos)",
+        "minutes-scale end-to-end check (CI, demos)",
+    ),
+    Scenario(
+        "wide",
+        ExperimentConfig(
+            instances=("p2p-Gnutella", "PGPgiantcompo"),
+            topologies=WIDE_TOPOLOGIES,
+            cases=("c2",),
+            repetitions=1,
+            n_hierarchies=2,
+            divisor=256,
+            n_min=1100,
+            n_max=1536,
+            seed=2018,
         ),
-        Scenario(
-            "wide",
-            ExperimentConfig(
-                instances=("p2p-Gnutella", "PGPgiantcompo"),
-                topologies=WIDE_TOPOLOGIES,
-                cases=("c2",),
-                repetitions=1,
-                n_hierarchies=2,
-                divisor=256,
-                n_min=1100,
-                n_max=1536,
-                seed=2018,
-            ),
-            "wide-label topologies past the lifted 63-class cap "
-            "(fattree2x7 = 255 PEs / 4-word labels, dragonfly16x6 = 1024 PEs)",
-        ),
-    ):
-        REGISTRY.register(SCENARIO, scenario.name, scenario)
-
-
-_register_builtins()
+        "wide-label topologies past the lifted 63-class cap "
+        "(fattree2x7 = 255 PEs / 4-word labels, dragonfly16x6 = 1024 PEs)",
+    ),
+):
+    REGISTRY.register(SCENARIO, _scenario.name, _scenario)
+del _paper, _scenario
 
 
 #: Kept under the pre-registry name as a *live* view of the unified

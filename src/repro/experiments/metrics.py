@@ -14,7 +14,7 @@ runner so it can be unit-tested on synthetic numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 

@@ -32,7 +32,7 @@ import os
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterator
+from collections.abc import Iterator
 
 #: Bump when the record layout or the semantics of stored fields change;
 #: invalidates every existing store entry.
@@ -110,7 +110,7 @@ class ArtifactStore:
         """
         path = self.path_for(key)
         try:
-            with open(path, "r", encoding="utf-8") as f:
+            with open(path, encoding="utf-8") as f:
                 record = json.load(f)
         except (OSError, ValueError):
             return None

@@ -17,7 +17,7 @@ counted both meridians of each class.  EXPERIMENTS.md discusses the
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from repro.api.registry import REGISTRY, TOPOLOGY
 from repro.api.topology import Topology

@@ -8,7 +8,7 @@ interoperability and for cross-checking our algorithms in tests.
 
 from __future__ import annotations
 
-from typing import Iterable, Tuple
+from collections.abc import Iterable
 
 import numpy as np
 
@@ -50,7 +50,7 @@ class GraphBuilder:
         self._ws.append(float(w))
         return self
 
-    def add_edges(self, edges: Iterable[Tuple]) -> "GraphBuilder":
+    def add_edges(self, edges: Iterable[tuple]) -> "GraphBuilder":
         """Add ``(u, v)`` or ``(u, v, w)`` tuples."""
         for e in edges:
             if len(e) == 2:
@@ -116,7 +116,7 @@ def _csr_from_coo(
 
 def from_edges(
     n: int,
-    edges: Iterable[Tuple],
+    edges: Iterable[tuple],
     vertex_weights=None,
     name: str = "",
 ) -> Graph:

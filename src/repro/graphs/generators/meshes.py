@@ -8,7 +8,7 @@ always succeeds, recognition in :mod:`repro.partialcube` decides cube-ness.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

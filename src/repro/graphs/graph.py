@@ -16,7 +16,7 @@ Instances are immutable; construction goes through
 
 from __future__ import annotations
 
-from typing import Iterator, Tuple
+from collections.abc import Iterator
 
 import numpy as np
 
@@ -69,7 +69,7 @@ class Graph:
             vertex_weights = np.ones(n, dtype=np.float64)
         self.vertex_weights = np.asarray(vertex_weights, dtype=np.float64)
         self.name = name
-        self._edge_arrays_cache: Tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._edge_arrays_cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
         if _validate:
             self._validate()
 
@@ -106,7 +106,7 @@ class Graph:
         """Sum of undirected edge weights."""
         return float(self.weights.sum()) / 2.0
 
-    def edges(self) -> Iterator[Tuple[int, int, float]]:
+    def edges(self) -> Iterator[tuple[int, int, float]]:
         """Iterate undirected edges ``(u, v, w)`` with ``u < v``."""
         for u in range(self.n):
             start, stop = self.indptr[u], self.indptr[u + 1]
@@ -115,7 +115,7 @@ class Graph:
                 if u < v:
                     yield u, v, float(self.weights[idx])
 
-    def edge_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def edge_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Vectorized undirected edge list ``(us, vs, ws)`` with ``us < vs``.
 
         This is the workhorse accessor for objective evaluation: TIMER's
@@ -183,7 +183,7 @@ class Graph:
             _validate=False,
         )
 
-    def subgraph(self, vertices: np.ndarray) -> Tuple["Graph", np.ndarray]:
+    def subgraph(self, vertices: np.ndarray) -> tuple["Graph", np.ndarray]:
         """Induced subgraph on ``vertices``.
 
         Returns the subgraph and the array mapping new vertex ids back to

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import io as _io
 from pathlib import Path
-from typing import TextIO, Union
+from typing import TextIO
 
 import numpy as np
 
@@ -22,16 +22,16 @@ from repro.errors import GraphFormatError
 from repro.graphs.builder import from_arrays
 from repro.graphs.graph import Graph
 
-PathLike = Union[str, Path]
+PathLike = str | Path
 
 
-def _open_read(path_or_file: Union[PathLike, TextIO]):
+def _open_read(path_or_file: PathLike | TextIO):
     if isinstance(path_or_file, (str, Path)):
-        return open(path_or_file, "r", encoding="utf-8"), True
+        return open(path_or_file, encoding="utf-8"), True
     return path_or_file, False
 
 
-def _open_write(path_or_file: Union[PathLike, TextIO]):
+def _open_write(path_or_file: PathLike | TextIO):
     if isinstance(path_or_file, (str, Path)):
         return open(path_or_file, "w", encoding="utf-8"), True
     return path_or_file, False
@@ -40,7 +40,7 @@ def _open_write(path_or_file: Union[PathLike, TextIO]):
 # ---------------------------------------------------------------------------
 # METIS format
 # ---------------------------------------------------------------------------
-def write_metis(g: Graph, path_or_file: Union[PathLike, TextIO]) -> None:
+def write_metis(g: Graph, path_or_file: PathLike | TextIO) -> None:
     """Write ``g`` in METIS format, emitting weights only when non-unit."""
     has_ew = not np.allclose(g.weights, 1.0)
     has_vw = not np.allclose(g.vertex_weights, 1.0)
@@ -71,7 +71,7 @@ def _fmt_weight(w: float) -> str:
     return str(int(w)) if float(w).is_integer() else repr(float(w))
 
 
-def read_metis(path_or_file: Union[PathLike, TextIO], name: str = "") -> Graph:
+def read_metis(path_or_file: PathLike | TextIO, name: str = "") -> Graph:
     """Read a METIS-format graph."""
     f, should_close = _open_read(path_or_file)
     try:
@@ -133,7 +133,7 @@ def read_metis(path_or_file: Union[PathLike, TextIO], name: str = "") -> Graph:
 # ---------------------------------------------------------------------------
 # Edge-list format
 # ---------------------------------------------------------------------------
-def write_edgelist(g: Graph, path_or_file: Union[PathLike, TextIO]) -> None:
+def write_edgelist(g: Graph, path_or_file: PathLike | TextIO) -> None:
     """Write ``u v w`` lines (0-indexed, one per undirected edge)."""
     f, should_close = _open_write(path_or_file)
     try:
@@ -146,7 +146,7 @@ def write_edgelist(g: Graph, path_or_file: Union[PathLike, TextIO]) -> None:
 
 
 def read_edgelist(
-    path_or_file: Union[PathLike, TextIO], n: int | None = None, name: str = ""
+    path_or_file: PathLike | TextIO, n: int | None = None, name: str = ""
 ) -> Graph:
     """Read a SNAP-style edge list.
 

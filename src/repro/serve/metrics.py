@@ -29,6 +29,8 @@ from __future__ import annotations
 import math
 import time
 
+from repro.errors import ConfigurationError
+
 
 def default_latency_buckets() -> tuple[float, ...]:
     """Log-spaced seconds buckets from 100 microseconds to ~2 minutes."""
@@ -88,7 +90,9 @@ class Histogram:
         self.help = help
         self.bounds = tuple(bounds) if bounds is not None else default_latency_buckets()
         if list(self.bounds) != sorted(self.bounds):
-            raise ValueError(f"histogram bounds must be ascending: {self.bounds}")
+            raise ConfigurationError(
+                f"histogram bounds must be ascending: {self.bounds}"
+            )
         self.bucket_counts = [0] * (len(self.bounds) + 1)
         self.count = 0
         self.sum = 0.0
@@ -123,7 +127,7 @@ class Histogram:
         exact observed min/max so tails never report impossible values.
         """
         if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile {q} outside [0, 1]")
+            raise ConfigurationError(f"quantile {q} outside [0, 1]")
         if self.count == 0:
             return 0.0
         rank = q * self.count

@@ -116,6 +116,7 @@ def register_admission_hook(max_graph_n: int | None) -> str:
                 f"most {max_graph_n}"
             )
 
+    # repro: allow[REG001] reason=admission limits are per-ServeSettings, so the hook can only exist once a service is configured; the name encodes the limit and overwrite=True keeps re-registration idempotent
     REGISTRY.register(VERIFY, name, hook, overwrite=True)
     return name
 
@@ -405,7 +406,7 @@ async def _read_http_request(reader: asyncio.StreamReader):
     try:
         method, target, _version = line.decode("latin-1").split()
     except ValueError:
-        raise ReproError(f"malformed request line {line!r}")
+        raise ReproError(f"malformed request line {line!r}") from None
     headers: dict[str, str] = {}
     header_bytes = 0
     while True:
@@ -762,9 +763,9 @@ class ServerThread:
     def __enter__(self) -> "ServerThread":
         self._thread.start()
         if not self._ready.wait(timeout=30):
-            raise RuntimeError("server thread failed to start in 30s")
+            raise ReproError("server thread failed to start in 30s")
         if self._startup_error is not None:
-            raise RuntimeError(
+            raise ReproError(
                 f"server thread failed to start: {self._startup_error}"
             )
         return self

@@ -10,11 +10,9 @@ convention in exactly one place.
 from __future__ import annotations
 
 import hashlib
-from typing import Union
-
 import numpy as np
 
-SeedLike = Union[None, int, np.random.Generator]
+SeedLike = int | np.random.Generator | None
 
 
 def make_rng(seed: SeedLike = None) -> np.random.Generator:

@@ -1,0 +1,152 @@
+"""Engine-level behavior: suppression syntax, coverage, staleness,
+rendering, and the CLI exit-code contract."""
+
+from __future__ import annotations
+
+import json
+from pathlib import PurePosixPath
+
+from repro.analysis.engine import (
+    Finding,
+    Report,
+    lint_source,
+    module_relpath,
+    parse_suppressions,
+    render_json,
+    render_text,
+)
+from repro.analysis.rules import DeterministicRandomness, default_rules
+
+
+def det_findings(source, relpath="core/x.py"):
+    return lint_source(
+        source,
+        path=relpath,
+        rules=[DeterministicRandomness()],
+        relpath=PurePosixPath(relpath),
+    )
+
+
+FIRING = "import numpy as np\nrng = np.random.default_rng()\n"
+
+
+class TestSuppressions:
+    def test_inline_allow_with_reason_suppresses(self):
+        src = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng()  "
+            "# repro: allow[DET001] reason=fixture for the linter's own tests\n"
+        )
+        found = det_findings(src)
+        assert len(found) == 1
+        assert found[0].suppressed
+        assert found[0].suppression_reason == "fixture for the linter's own tests"
+
+    def test_preceding_comment_line_covers_next_line(self):
+        src = (
+            "import numpy as np\n"
+            "# repro: allow[DET001] reason=entropy seed is hashed into the run id\n"
+            "rng = np.random.default_rng()\n"
+        )
+        found = det_findings(src)
+        assert len(found) == 1 and found[0].suppressed
+
+    def test_reason_is_mandatory(self):
+        src = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng()  # repro: allow[DET001]\n"
+        )
+        found = det_findings(src)
+        rules = {f.rule for f in found}
+        # The allow is rejected: DET001 stays active and SUP001 flags the
+        # reason-less directive.
+        assert "SUP001" in rules
+        det = [f for f in found if f.rule == "DET001"]
+        assert det and not det[0].suppressed
+
+    def test_stale_allow_is_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng(7)  # repro: allow[DET001] reason=stale\n"
+        )
+        found = det_findings(src)
+        assert {f.rule for f in found} == {"SUP002"}
+
+    def test_allow_does_not_leak_to_other_rules(self):
+        src = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng()  # repro: allow[DET002] reason=wrong id\n"
+        )
+        found = det_findings(src)
+        det = [f for f in found if f.rule == "DET001"]
+        assert det and not det[0].suppressed
+
+    def test_multiple_ids_in_one_directive(self):
+        allows, problems = parse_suppressions(
+            "x = 1  # repro: allow[DET001, SRV002] reason=shared fixture\n", "x.py"
+        )
+        assert problems == []
+        assert len(allows) == 1
+        assert allows[0].rule_ids == ("DET001", "SRV002")
+        assert allows[0].reason == "shared fixture"
+
+
+class TestEngine:
+    def test_syntax_error_becomes_eng001(self):
+        found = lint_source("def broken(:\n", path="core/x.py", rules=default_rules())
+        assert [f.rule for f in found] == ["ENG001"]
+
+    def test_module_relpath_strips_repro_prefix(self):
+        rel = module_relpath("/root/repo/src/repro/core/kernels.py")
+        assert rel == PurePosixPath("core/kernels.py")
+
+    def test_findings_sorted_by_location(self):
+        src = (
+            "import random\n"
+            "import numpy as np\n"
+            "np.random.shuffle([])\n"
+        )
+        found = det_findings(src)
+        assert [f.line for f in found] == sorted(f.line for f in found)
+
+
+class TestRendering:
+    def _report(self):
+        return Report(findings=det_findings(FIRING), files_scanned=1)
+
+    def test_text_render_has_location_rule_and_hint(self):
+        text = render_text(self._report())
+        assert "core/x.py:2" in text
+        assert "DET001" in text
+        assert "hint:" in text
+
+    def test_json_render_round_trips(self):
+        payload = json.loads(render_json(self._report()))
+        assert payload["files_scanned"] == 1
+        assert payload["ok"] is False
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "DET001"
+        assert finding["line"] == 2
+        assert finding["suppressed"] is False
+
+    def test_report_ok_iff_no_active_findings(self):
+        active = self._report()
+        assert not active.ok
+        suppressed = Report(
+            findings=[
+                Finding(
+                    rule=f.rule,
+                    path=f.path,
+                    line=f.line,
+                    col=f.col,
+                    message=f.message,
+                    hint=f.hint,
+                    suppressed=True,
+                    suppression_reason="test",
+                )
+                for f in active.findings
+            ],
+            files_scanned=1,
+        )
+        assert suppressed.ok
+        assert len(suppressed.suppressed) == 1

@@ -1,0 +1,337 @@
+"""Fixture pairs for every lint rule: one snippet that MUST fire, one
+near-miss that MUST NOT.
+
+The near-misses are modeled on real shipped code (``np.random.Generator``
+type annotations, ``time.sleep`` on the executor path, the
+``current_backend()`` facades), so the rules stay precise enough to run
+over ``src/`` without drowning the tree in suppressions.
+"""
+
+from __future__ import annotations
+
+from pathlib import PurePosixPath
+
+from repro.analysis.engine import lint_source
+from repro.analysis.rules import (
+    BackendDispatchOnly,
+    ConfigIdentityCoverage,
+    DeterministicRandomness,
+    NoBlockingInAsyncServe,
+    NoWallClockInIdentity,
+    RegisterAtImportScope,
+    ServeErrorTaxonomy,
+    default_rules,
+)
+
+
+def run_rule(rule, source, relpath):
+    return [
+        f
+        for f in lint_source(
+            source, path=relpath, rules=[rule], relpath=PurePosixPath(relpath)
+        )
+        if f.rule == rule.id
+    ]
+
+
+# ----------------------------------------------------------------------
+# DET001
+# ----------------------------------------------------------------------
+class TestDET001:
+    def test_fires_on_unseeded_default_rng(self):
+        src = (
+            "import numpy as np\n"
+            "def jitter(x):\n"
+            "    rng = np.random.default_rng()\n"
+            "    return x + rng.normal()\n"
+        )
+        found = run_rule(DeterministicRandomness(), src, "core/enhancer.py")
+        assert len(found) == 1 and found[0].line == 3
+
+    def test_fires_on_legacy_global_and_stdlib_random(self):
+        src = (
+            "import numpy as np\n"
+            "import random\n"
+            "def pick(xs):\n"
+            "    np.random.shuffle(xs)\n"
+            "    return random.choice(xs)\n"
+        )
+        found = run_rule(DeterministicRandomness(), src, "partitioning/initial.py")
+        assert {f.line for f in found} == {2, 4}
+
+    def test_near_miss_annotations_and_seeded(self):
+        # The shape of partitioning/initial.py and mapping/drb.py:
+        # Generator *annotations* and isinstance checks are fine, and a
+        # seeded default_rng is explicitly allowed by the rule's letter.
+        src = (
+            "import numpy as np\n"
+            "def grow(g, rng: np.random.Generator) -> np.ndarray:\n"
+            "    if isinstance(rng, np.random.Generator):\n"
+            "        return rng.integers(0, 7, size=4)\n"
+            "    return np.random.default_rng(np.random.SeedSequence(1))\n"
+        )
+        assert run_rule(DeterministicRandomness(), src, "partitioning/initial.py") == []
+
+    def test_out_of_scope_tree_not_scanned(self):
+        src = "import random\n"
+        assert run_rule(DeterministicRandomness(), src, "serve/loadgen.py") == []
+
+
+# ----------------------------------------------------------------------
+# DET002
+# ----------------------------------------------------------------------
+class TestDET002:
+    def test_fires_on_wall_clock(self):
+        src = (
+            "import time, datetime\n"
+            "def stamp(identity):\n"
+            "    identity['at'] = time.time()\n"
+            "    identity['day'] = datetime.datetime.now()\n"
+            "    return identity\n"
+        )
+        found = run_rule(NoWallClockInIdentity(), src, "experiments/store.py")
+        assert {f.line for f in found} == {3, 4}
+
+    def test_near_miss_perf_counter(self):
+        # utils/stopwatch.py's idiom, as used inside the scanned trees.
+        src = (
+            "import time\n"
+            "def measure():\n"
+            "    t0 = time.perf_counter()\n"
+            "    return time.perf_counter() - t0, time.monotonic()\n"
+        )
+        assert run_rule(NoWallClockInIdentity(), src, "experiments/runner.py") == []
+
+
+# ----------------------------------------------------------------------
+# BKD001
+# ----------------------------------------------------------------------
+class TestBKD001:
+    def test_fires_on_direct_backend_method(self):
+        src = (
+            "from repro.core.backend import NumpyBackend\n"
+            "def distances(indptr, indices, n):\n"
+            "    return NumpyBackend().all_pairs_distances(indptr, indices, n)\n"
+        )
+        found = run_rule(BackendDispatchOnly(), src, "graphs/algorithms.py")
+        assert found  # import + instantiation + bypassed dispatch
+
+    def test_fires_on_reference_impl_call(self):
+        src = (
+            "def classes(g, distances):\n"
+            "    return _djokovic_classes_loop(g, distances)\n"
+        )
+        found = run_rule(BackendDispatchOnly(), src, "partialcube/hierarchy.py")
+        assert len(found) == 1
+
+    def test_near_miss_current_backend_and_facades(self):
+        # The shipped idioms: dispatch via current_backend() (directly or
+        # through a local), and plain facade-function calls.
+        src = (
+            "from repro.core.backend import current_backend\n"
+            "from repro.graphs.algorithms import all_pairs_distances\n"
+            "from repro.utils import bitops\n"
+            "def go(g, labels, indptr, indices, weights, lsb):\n"
+            "    backend = current_backend()\n"
+            "    a = backend.vertex_lsb_sums(lsb, indptr, indices, weights)\n"
+            "    b = current_backend().argsort_labels(labels)\n"
+            "    c = all_pairs_distances(g)\n"
+            "    d = bitops.pairwise_hamming(labels)\n"
+            "    return a, b, c, d\n"
+        )
+        assert run_rule(BackendDispatchOnly(), src, "core/kernels.py") == []
+
+    def test_reference_impl_allowed_in_home_module(self):
+        src = (
+            "def djokovic_classes(g, distances):\n"
+            "    return _djokovic_classes_loop(g, distances)\n"
+        )
+        assert run_rule(BackendDispatchOnly(), src, "partialcube/djokovic.py") == []
+
+
+# ----------------------------------------------------------------------
+# SRV001
+# ----------------------------------------------------------------------
+class TestSRV001:
+    def test_fires_on_blocking_in_async(self):
+        src = (
+            "import time, subprocess\n"
+            "async def handle(req):\n"
+            "    time.sleep(0.1)\n"
+            "    subprocess.run(['true'])\n"
+            "    with open('x') as f:\n"
+            "        return f.read()\n"
+        )
+        found = run_rule(NoBlockingInAsyncServe(), src, "serve/service.py")
+        assert {f.line for f in found} == {3, 4, 5}
+
+    def test_near_miss_executor_and_sync_def(self):
+        # scheduler.py's real shape: time.sleep lives in a *sync* helper
+        # that runs on the executor; the async side awaits asyncio.sleep.
+        src = (
+            "import asyncio, time\n"
+            "def _compute_with_retries(delay):\n"
+            "    time.sleep(delay)\n"
+            "async def dispatch(loop, reqs):\n"
+            "    await asyncio.sleep(0.01)\n"
+            "    def blocking():\n"
+            "        time.sleep(1.0)\n"
+            "    return await loop.run_in_executor(None, blocking)\n"
+        )
+        assert run_rule(NoBlockingInAsyncServe(), src, "serve/scheduler.py") == []
+
+    def test_out_of_scope_outside_serve(self):
+        src = "import time\nasync def f():\n    time.sleep(1)\n"
+        assert run_rule(NoBlockingInAsyncServe(), src, "experiments/runner.py") == []
+
+
+# ----------------------------------------------------------------------
+# SRV002
+# ----------------------------------------------------------------------
+class TestSRV002:
+    def test_fires_on_generic_raise_and_bare_except(self):
+        src = (
+            "def parse(body):\n"
+            "    try:\n"
+            "        return int(body)\n"
+            "    except:\n"
+            "        raise ValueError('bad body')\n"
+        )
+        found = run_rule(ServeErrorTaxonomy(), src, "serve/service.py")
+        assert {f.line for f in found} == {4, 5}
+
+    def test_near_miss_taxonomy_and_named_except(self):
+        src = (
+            "from repro.errors import ReproError, TransientError\n"
+            "def parse(body):\n"
+            "    try:\n"
+            "        return int(body)\n"
+            "    except (TypeError, ValueError) as exc:\n"
+            "        raise ReproError(f'bad body: {exc}') from exc\n"
+            "def shed():\n"
+            "    raise TransientError('queue full')\n"
+        )
+        assert run_rule(ServeErrorTaxonomy(), src, "serve/scheduler.py") == []
+
+
+# ----------------------------------------------------------------------
+# REG001
+# ----------------------------------------------------------------------
+class TestREG001:
+    def test_fires_inside_function(self):
+        src = (
+            "from repro.api.registry import REGISTRY\n"
+            "def setup(name, value):\n"
+            "    REGISTRY.register('topology', name, value)\n"
+        )
+        found = run_rule(RegisterAtImportScope(), src, "experiments/topologies.py")
+        assert len(found) == 1 and found[0].line == 3
+
+    def test_near_miss_module_scope_loop_and_decorator(self):
+        # matrix.py / stages.py shapes: top-level loops and top-level
+        # decorators both run at import time.
+        src = (
+            "from repro.api.registry import REGISTRY\n"
+            "for name in ('a', 'b'):\n"
+            "    REGISTRY.register('scenario', name, object())\n"
+            "@REGISTRY.register('verify')\n"
+            "def hook(ctx):\n"
+            "    return None\n"
+        )
+        assert run_rule(RegisterAtImportScope(), src, "experiments/matrix.py") == []
+
+
+# ----------------------------------------------------------------------
+# CFG001
+# ----------------------------------------------------------------------
+_CFG_HEADER = (
+    "from dataclasses import asdict, dataclass\n"
+    "from typing import ClassVar\n"
+    "@dataclass(frozen=True)\n"
+)
+
+
+class TestCFG001:
+    def test_fires_on_undeclared_pop(self):
+        src = _CFG_HEADER + (
+            "class PipelineConfig:\n"
+            "    partition: str = 'kway'\n"
+            "    backend: str = ''\n"
+            "    IDENTITY_EXCLUDED: ClassVar[frozenset[str]] = frozenset()\n"
+            "    def identity(self):\n"
+            "        d = asdict(self)\n"
+            "        d.pop('backend', None)\n"
+            "        return d\n"
+        )
+        found = run_rule(ConfigIdentityCoverage(), src, "api/pipeline.py")
+        assert len(found) == 1 and "without listing it" in found[0].message
+
+    def test_fires_on_missing_exclusion_set(self):
+        src = (
+            "from dataclasses import asdict, dataclass\n"
+            "@dataclass(frozen=True)\n"
+            "class PipelineConfig:\n"
+            "    partition: str = 'kway'\n"
+            "    def identity(self):\n"
+            "        return asdict(self)\n"
+        )
+        found = run_rule(ConfigIdentityCoverage(), src, "api/pipeline.py")
+        assert len(found) == 1 and "IDENTITY_EXCLUDED" in found[0].message
+
+    def test_fires_on_unconsumed_field(self):
+        src = _CFG_HEADER + (
+            "class PipelineConfig:\n"
+            "    partition: str = 'kway'\n"
+            "    backend: str = ''\n"
+            "    IDENTITY_EXCLUDED: ClassVar[frozenset[str]] = frozenset()\n"
+            "    def identity(self):\n"
+            "        return {'partition': self.partition}\n"
+        )
+        found = run_rule(ConfigIdentityCoverage(), src, "api/pipeline.py")
+        assert len(found) == 1 and "'backend'" in found[0].message
+
+    def test_fires_on_stale_exclusion_entry(self):
+        src = _CFG_HEADER + (
+            "class PipelineConfig:\n"
+            "    partition: str = 'kway'\n"
+            "    IDENTITY_EXCLUDED: ClassVar[frozenset[str]] = "
+            "frozenset({'ghost'})\n"
+            "    def identity(self):\n"
+            "        return asdict(self)\n"
+        )
+        found = run_rule(ConfigIdentityCoverage(), src, "api/pipeline.py")
+        assert len(found) == 1 and "not a declared" in found[0].message
+
+    def test_near_miss_shipped_shape(self):
+        # The real PipelineConfig shape: asdict + a loop over the
+        # exclusion set.
+        src = _CFG_HEADER + (
+            "class PipelineConfig:\n"
+            "    partition: str = 'kway'\n"
+            "    backend: str = ''\n"
+            "    IDENTITY_EXCLUDED: ClassVar[frozenset[str]] = "
+            "frozenset({'backend'})\n"
+            "    def identity(self):\n"
+            "        d = asdict(self)\n"
+            "        for excluded in self.IDENTITY_EXCLUDED:\n"
+            "            d.pop(excluded, None)\n"
+            "        return d\n"
+        )
+        assert run_rule(ConfigIdentityCoverage(), src, "api/pipeline.py") == []
+
+    def test_only_applies_to_pipeline_module(self):
+        src = "class PipelineConfig:\n    pass\n"
+        assert run_rule(ConfigIdentityCoverage(), src, "serve/scheduler.py") == []
+
+
+def test_rule_pack_has_all_contract_rules():
+    ids = {r.id for r in default_rules()}
+    assert ids == {
+        "DET001",
+        "DET002",
+        "BKD001",
+        "SRV001",
+        "SRV002",
+        "REG001",
+        "CFG001",
+    }

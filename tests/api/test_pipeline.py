@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+import dataclasses
 
 from repro.api.pipeline import Pipeline, PipelineConfig
 from repro.api.topology import Topology
@@ -228,7 +229,7 @@ class TestPipelineSurface:
 
     def test_config_is_frozen_and_validated(self):
         cfg = PipelineConfig()
-        with pytest.raises(Exception):
+        with pytest.raises(dataclasses.FrozenInstanceError):
             cfg.epsilon = 0.5  # frozen dataclass
         with pytest.raises(ConfigurationError):
             PipelineConfig(seed_policy="chaotic")

@@ -1,6 +1,7 @@
 """Tests for CaseRun's derived quotients (incl. degenerate guards)."""
 
 import pytest
+import dataclasses
 
 from repro.experiments.cases import CaseRun
 
@@ -39,5 +40,5 @@ class TestQuotients:
 
     def test_frozen(self):
         run = _run()
-        with pytest.raises(Exception):
+        with pytest.raises(dataclasses.FrozenInstanceError):
             run.coco_before = 1.0

@@ -4,6 +4,7 @@ import json
 
 import numpy as np
 import pytest
+import zipfile
 
 from repro.errors import ConfigurationError, TransientError
 from repro.serve.faults import (
@@ -117,7 +118,7 @@ class TestNpzCorruption:
         orig = path.stat().st_size
         corrupt_npz_file(path, mode="truncate")
         assert path.stat().st_size < orig
-        with pytest.raises(Exception):
+        with pytest.raises(zipfile.BadZipFile):
             np.load(path)["labels"]
 
     def test_garbage_keeps_size(self, tmp_path):

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import ConfigurationError
 from repro.serve.metrics import Counter, Gauge, Histogram, MetricsRegistry
 
 
@@ -51,9 +52,9 @@ class TestHistogram:
         h = Histogram("lat")
         assert h.percentile(0.5) == 0.0
         assert h.snapshot()["count"] == 0
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             h.percentile(1.5)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             Histogram("bad", bounds=(2.0, 1.0))
 
 
