@@ -175,8 +175,7 @@ def cmd_serve(args) -> int:
     # Imported here so the file-based commands never pay for asyncio.
     from repro.serve.service import ServeSettings, run_server
 
-    return run_server(
-        ServeSettings(
+    settings = ServeSettings(
             host=args.host,
             port=args.port,
             window_ms=args.window_ms,
@@ -184,6 +183,7 @@ def cmd_serve(args) -> int:
             max_queue=args.max_queue,
             jobs=args.jobs,
             max_sessions=args.max_sessions,
+            max_pipelines=args.max_pipelines,
             labeling_cache=args.labeling_cache,
             max_graph_n=args.max_n,
             warm=tuple(args.warm),
@@ -195,8 +195,19 @@ def cmd_serve(args) -> int:
             breaker_reset_s=args.breaker_reset,
             faults=args.faults,
             backend=args.backend,
+            response_cache=args.response_cache,
+            response_cache_bytes=args.response_cache_mb * 1024 * 1024,
+            shards=args.shards,
         )
-    )
+    if settings.shards > 0:
+        if settings.stdio:
+            print("repro serve: --shards requires HTTP (drop --stdio)",
+                  file=sys.stderr)
+            return 2
+        from repro.serve.shard import run_sharded_server
+
+        return run_sharded_server(settings)
+    return run_server(settings)
 
 
 def cmd_loadgen(args) -> int:
@@ -214,6 +225,8 @@ def cmd_loadgen(args) -> int:
         deadline_s=args.deadline,
         matrix_path=args.matrix,
         allow_degraded=args.allow_degraded,
+        repeat_fraction=args.repeat_fraction,
+        enhance_fraction=args.enhance_fraction,
     )
     report = generate_load(profile, args.url)
     print(report.render(), file=sys.stderr)
@@ -313,6 +326,9 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--max-sessions", type=int, default=None,
                    help="bound the topology session LRU (evictions fall "
                    "back to the labeling disk cache)")
+    q.add_argument("--max-pipelines", type=int, default=64,
+                   help="bound memoized per-group pipelines (pipelines pin "
+                   "their topology session in memory)")
     q.add_argument("--labeling-cache", default=None, metavar="DIR",
                    help="enable the npz labeling disk cache in DIR")
     q.add_argument("--max-n", type=int, default=None,
@@ -339,6 +355,17 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--faults", default=None, metavar="JSON",
                    help="deterministic fault-injection plan (JSON; "
                    "overrides REPRO_FAULTS)")
+    q.add_argument("--response-cache", type=int, default=128,
+                   help="max entries in the run-identity response cache "
+                   "(0 disables it)")
+    q.add_argument("--response-cache-mb", type=int, default=64,
+                   help="byte budget of the response cache in MiB "
+                   "(0 disables it)")
+    q.add_argument("--shards", type=int, default=0,
+                   help="serve through a consistent-hash front end over "
+                   "this many backend worker processes (0 = single "
+                   "process); topologies pin to shards, keeping each "
+                   "shard's session and response caches hot")
     add_backend_flag(q)
     q.set_defaults(fn=cmd_serve)
 
@@ -364,6 +391,12 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--allow-degraded", action="store_true",
                    help="let the server satisfy requests from the "
                    "degradation ladder (cached / no-enhance results)")
+    q.add_argument("--repeat-fraction", type=float, default=0.0,
+                   help="share of requests repeating an earlier request "
+                   "verbatim (response-cache hot keys)")
+    q.add_argument("--enhance-fraction", type=float, default=0.0,
+                   help="share of requests converted to /enhance with a "
+                   "deterministic supplied mapping")
     q.add_argument("--out", default=None, help="write the JSON report here")
     q.set_defaults(fn=cmd_loadgen)
 

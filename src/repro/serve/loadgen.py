@@ -28,8 +28,10 @@ import time
 from dataclasses import asdict, dataclass, field
 from urllib.parse import urlsplit
 
+from repro.api.topology import Topology
 from repro.errors import ConfigurationError
 from repro.experiments.matrix import get_scenario
+from repro.serve.scheduler import GraphSpec
 from repro.utils.rng import derive_rng
 
 #: every percentile the report carries
@@ -51,6 +53,12 @@ class LoadProfile:
     deadline_s: float | None = None
     matrix_path: str | None = None
     allow_degraded: bool = False
+    #: fraction of requests that *verbatim repeat* an earlier planned
+    #: request (hot-key traffic the response cache feeds on)
+    repeat_fraction: float = 0.0
+    #: fraction of requests converted to ``/enhance`` with a supplied
+    #: deterministic mapping (exercises the second wire op under load)
+    enhance_fraction: float = 0.0
 
     def __post_init__(self) -> None:
         if self.requests < 1:
@@ -59,6 +67,10 @@ class LoadProfile:
             raise ConfigurationError("rate must be positive")
         if not 0.0 <= self.hot_fraction <= 1.0:
             raise ConfigurationError("hot_fraction must be in [0, 1]")
+        if not 0.0 <= self.repeat_fraction <= 1.0:
+            raise ConfigurationError("repeat_fraction must be in [0, 1]")
+        if not 0.0 <= self.enhance_fraction <= 1.0:
+            raise ConfigurationError("enhance_fraction must be in [0, 1]")
         if self.seed_pool < 1 or self.hot_keys < 1:
             raise ConfigurationError("seed_pool and hot_keys must be >= 1")
 
@@ -100,26 +112,70 @@ def build_catalog(profile: LoadProfile) -> list[dict]:
     return catalog
 
 
+def _as_enhance(body: dict, cache: dict) -> dict:
+    """A catalog map body converted into a deterministic ``/enhance`` body.
+
+    The supplied mapping is the canonical round-robin placement
+    ``mu[i] = i % n_pe`` -- a pure function of the body, so two planned
+    runs convert identically.  Conversions are memoized per catalog
+    entry (building the instance graph to size the mapping is not free).
+    """
+    key = json.dumps(body, sort_keys=True)
+    got = cache.get(key)
+    if got is None:
+        n = GraphSpec.from_wire(body.get("graph", {})).build().n
+        n_pe = Topology.from_name(str(body["topology"])).graph.n
+        got = {**body, "op": "enhance", "mu": [i % n_pe for i in range(n)]}
+        cache[key] = got
+    return got
+
+
 def plan_requests(profile: LoadProfile) -> list[tuple[float, dict]]:
     """``(arrival_offset_seconds, body)`` per request, fully derived.
 
     The hot set is the catalog's first ``hot_keys`` entries; with
     probability ``hot_fraction`` a request draws uniformly from it,
     otherwise uniformly from the remainder (or the whole catalog when it
-    is smaller than the hot set).
+    is smaller than the hot set).  With probability ``repeat_fraction``
+    the drawn body is replaced by a verbatim repeat of an earlier
+    planned request; with probability ``enhance_fraction`` it is
+    converted to an ``/enhance`` request.  Each knob draws from its own
+    derived stream only when enabled, so enabling one never perturbs the
+    arrivals or the base mix -- a knobbed profile stays byte-comparable
+    to its plain twin.
     """
     catalog = build_catalog(profile)
     arrivals_rng = derive_rng(profile.seed, "loadgen", "arrivals")
     mix_rng = derive_rng(profile.seed, "loadgen", "mix")
+    repeat_rng = (
+        derive_rng(profile.seed, "loadgen", "repeat")
+        if profile.repeat_fraction > 0 else None
+    )
+    enhance_rng = (
+        derive_rng(profile.seed, "loadgen", "enhance")
+        if profile.enhance_fraction > 0 else None
+    )
     offsets = arrivals_rng.exponential(
         1.0 / profile.rate, size=profile.requests
     ).cumsum()
     hot = catalog[: profile.hot_keys]
     cold = catalog[profile.hot_keys :] or catalog
+    enhance_cache: dict[str, dict] = {}
     out: list[tuple[float, dict]] = []
     for t in offsets:
         pool = hot if mix_rng.random() < profile.hot_fraction else cold
         body = pool[int(mix_rng.integers(len(pool)))]
+        if (
+            repeat_rng is not None
+            and out
+            and repeat_rng.random() < profile.repeat_fraction
+        ):
+            body = out[int(repeat_rng.integers(len(out)))][1]
+        if (
+            enhance_rng is not None
+            and enhance_rng.random() < profile.enhance_fraction
+        ):
+            body = _as_enhance(body, enhance_cache)
         out.append((float(t), body))
     return out
 
@@ -189,6 +245,7 @@ class LoadReport:
     requests: int = 0
     ok: int = 0
     degraded: int = 0
+    cached: int = 0
     errors: dict = field(default_factory=dict)
     duration_seconds: float = 0.0
     throughput_rps: float = 0.0
@@ -211,6 +268,7 @@ class LoadReport:
             f"p99 {lat.get('p99', 0) * 1e3:.0f}ms; mean batch "
             f"{self.batch.get('mean_size', 0):.2f} "
             f"({self.batch.get('coalesced', 0)} coalesced)"
+            + (f"; {self.cached} cached" if self.cached else "")
             + (f"; {self.degraded} degraded" if self.degraded else "")
             + (f"; errors {self.errors}" if self.errors else "")
         )
@@ -229,6 +287,7 @@ def _summarize(
         if status == 200 and isinstance(body, dict) and body.get("ok"):
             report.ok += 1
             report.degraded += bool(body.get("degraded"))
+            report.cached += bool(body.get("cached"))
             info = body.get("batch", {})
             sizes.append(int(info.get("size", 1)))
             coalesced += bool(info.get("coalesced"))
@@ -287,10 +346,11 @@ async def run_load(
         if delay > 0:
             await asyncio.sleep(delay)
         sent = time.perf_counter()
+        op = str(body.get("op", "map"))
         if url is not None:
-            status, reply = await http_request_json(host, port, "POST", "/map", body)
+            status, reply = await http_request_json(host, port, "POST", f"/{op}", body)
         else:
-            status, reply, _headers = await service.handle("map", body)
+            status, reply, _headers = await service.handle(op, body)
         return time.perf_counter() - sent, status, reply
 
     samples = await asyncio.gather(

@@ -112,14 +112,20 @@ def _worker_main(conn, runner, setup, generation: int) -> None:
 
 
 class _Task:
-    __slots__ = ("id", "payload_key", "items", "futures", "crashes")
+    __slots__ = ("id", "payload_key", "items", "futures", "crashes", "worker")
 
-    def __init__(self, task_id, payload_key, items, futures, crashes=0):
+    def __init__(self, task_id, payload_key, items, futures, crashes=0,
+                 worker=None):
         self.id = task_id
         self.payload_key = payload_key
         self.items = items
         self.futures = futures
         self.crashes = crashes
+        #: worker index this task is pinned to (None = any worker).  The
+        #: supervisor keeps worker indices stable across crash restarts,
+        #: so a pin survives its worker dying -- the replacement at the
+        #: same index picks the task up.
+        self.worker = worker
 
 
 class _Worker:
@@ -189,18 +195,30 @@ class SupervisedPool:
         self._thread.start()
 
     # -- public API ----------------------------------------------------
-    def submit(self, payload_key: str, payload, items) -> list[Future]:
-        """Queue one task; returns a future per item (in item order)."""
+    def submit(
+        self, payload_key: str, payload, items, worker: int | None = None
+    ) -> list[Future]:
+        """Queue one task; returns a future per item (in item order).
+
+        ``worker`` pins the task to one worker index (cache affinity:
+        e.g. consistent-hash routing of topologies so each worker's
+        session cache stays hot); ``None`` lets any idle worker take it.
+        """
         items = list(items)
         if not items:
             return []
+        if worker is not None and not 0 <= int(worker) < self._size:
+            raise ConfigurationError(
+                f"worker pin {worker} outside pool of {self._size}"
+            )
         futures = [Future() for _ in items]
         with self._lock:
             if not self._running:
                 raise TransientError("worker pool is closed")
             self._payloads[payload_key] = payload
             self._pending.append(
-                _Task(next(self._task_ids), payload_key, items, futures)
+                _Task(next(self._task_ids), payload_key, items, futures,
+                      worker=None if worker is None else int(worker))
             )
         self._wake()
         return futures
@@ -292,13 +310,22 @@ class SupervisedPool:
         return None
 
     def _dispatch(self) -> None:
-        for worker in self._workers:
+        for index, worker in enumerate(self._workers):
             if worker.dead or worker.current is not None:
                 continue
             with self._lock:
                 if not self._pending:
                     return
-                task = self._pending.popleft()
+                # First pending task this worker may run: unpinned tasks
+                # go to anyone, pinned tasks only to their index.
+                task = next(
+                    (t for t in self._pending
+                     if t.worker is None or t.worker == index),
+                    None,
+                )
+                if task is None:
+                    continue  # only tasks pinned to busy workers remain
+                self._pending.remove(task)
                 payload = self._payloads[task.payload_key]
             try:
                 if task.payload_key not in worker.seen:
@@ -397,6 +424,7 @@ class SupervisedPool:
                 task.items[:mid],
                 task.futures[:mid],
                 crashes=1,
+                worker=task.worker,
             )
             right = _Task(
                 next(self._task_ids),
@@ -404,6 +432,7 @@ class SupervisedPool:
                 task.items[mid:],
                 task.futures[mid:],
                 crashes=1,
+                worker=task.worker,
             )
             with self._lock:
                 self._pending.appendleft(right)

@@ -15,6 +15,15 @@ once, answered many times.  This is sound *because* of the determinism
 contract (same request == same mapping, test-asserted), and it is where
 most of the batching throughput win comes from on hot keys.
 
+*Across* windows the same contract powers the response cache: every
+successful full-fidelity result is remembered in a byte-budgeted LRU
+(:class:`~repro.serve.cache.ResponseCache`) keyed by the run identity
+``(group key, graph content, seed, mu tag)``, and ``submit`` checks it
+*before* admission control -- a repeat request is answered instantly,
+byte-identical to a fresh compute, without occupying a queue slot or a
+batch.  Degraded (enhance-stripped) results are remembered under their
+rewritten group key, so they can never impersonate a full result.
+
 Admission control is a single bound on in-flight requests
 (``max_queue``): past it, ``submit`` fails fast with
 :class:`QueueFullError` carrying a retry-after hint, which the HTTP
@@ -72,7 +81,11 @@ from repro.experiments.instances import generate_instance, instance_names
 from repro.experiments.store import canonical_json, cell_key
 from repro.graphs.builder import from_edges
 from repro.graphs.graph import Graph
-from repro.serve.cache import TopologyCache
+from repro.serve.cache import (
+    DEFAULT_RESPONSE_CACHE_BYTES,
+    ResponseCache,
+    TopologyCache,
+)
 from repro.serve.faults import FaultClock, FaultPlan, on_item, on_task
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.pool import SupervisedPool
@@ -233,9 +246,12 @@ class ServedResult:
     compute_seconds: float
     #: degraded answers trade fidelity for availability and are exempt
     #: from the byte-identity contract; ``degraded_mode`` says how
-    #: ("cached" = response-cache replay, "no_enhance" = enhance skipped)
+    #: ("no_enhance" = enhance skipped)
     degraded: bool = False
     degraded_mode: str | None = None
+    #: answered from the response cache: full fidelity (byte-identical
+    #: to a fresh compute by the determinism contract), zero compute
+    cached: bool = False
 
 
 @dataclass
@@ -311,10 +327,9 @@ class BatchScheduler:
     faults:
         deterministic :class:`FaultPlan` for chaos testing; installed
         into the environment so pool workers inherit it.
-    response_cache_size:
-        LRU bound on remembered successful results, used only to serve
-        ``allow_degraded`` requests while their group is unhealthy
-        (0 disables).
+    response_cache_size / response_cache_bytes:
+        entry-count and byte bounds on the cross-window response cache
+        checked on the hot path before admission (either 0 disables).
     """
 
     def __init__(
@@ -334,6 +349,7 @@ class BatchScheduler:
         breaker_reset_s: float = 10.0,
         faults: FaultPlan | None = None,
         response_cache_size: int = 128,
+        response_cache_bytes: int = DEFAULT_RESPONSE_CACHE_BYTES,
         degrade_margin: float = 1.2,
         clock=time.monotonic,
     ) -> None:
@@ -357,6 +373,9 @@ class BatchScheduler:
         self.breaker_reset_s = float(breaker_reset_s)
         self.faults = faults if faults is not None else FaultPlan.from_env()
         self.response_cache_size = int(response_cache_size)
+        self.response_cache = ResponseCache(
+            max_entries=response_cache_size, max_bytes=response_cache_bytes
+        )
         self.degrade_margin = float(degrade_margin)
         self.clock = clock
         self._fault_clock = FaultClock()
@@ -367,16 +386,23 @@ class BatchScheduler:
         #: Topology sessions past the session LRU's own evictions.
         self._pipelines: dict[str, Pipeline] = {}
         self._breakers: dict[str, CircuitBreaker] = {}
-        self._response_cache: dict[tuple, PipelineResult] = {}
         self._compute_ewma: dict[str, float] = {}
         self._pending = 0
         self._closed = False
         self._pool: SupervisedPool | None = None
+        self._pool_router = None
         if workers > 0:
             self.faults.install()  # pool workers read REPRO_FAULTS at start
             self._pool = SupervisedPool(
                 _pool_run, setup=_pool_setup, workers=workers, name="repro-serve"
             )
+            # Pin each topology's batches to one pool worker by the same
+            # rendezvous hash the shard front end uses, so per-worker
+            # session caches (labeling + distances) stay hot instead of
+            # every worker slowly accumulating every topology.
+            from repro.serve.shard import ShardRouter  # lazy: avoids cycle
+
+            self._pool_router = ShardRouter([str(i) for i in range(workers)])
         if dispatch_workers is None:
             dispatch_workers = workers if workers > 0 else 1
         self._executor = ThreadPoolExecutor(
@@ -419,6 +445,24 @@ class BatchScheduler:
         )
         self._m_degraded = m.counter(
             "degraded_total", "degraded responses served, by mode"
+        )
+        self._m_cache_hits = m.counter(
+            "response_cache_hits_total",
+            "requests answered from the cross-window response cache",
+        )
+        self._m_cache_misses = m.counter(
+            "response_cache_misses_total",
+            "requests that missed the response cache and went to compute",
+        )
+        self._m_cache_evictions = m.counter(
+            "response_cache_evictions_total",
+            "response-cache entries evicted past the entry/byte budgets",
+        )
+        self._m_cache_entries = m.gauge(
+            "response_cache_entries", "response-cache entries held"
+        )
+        self._m_cache_bytes = m.gauge(
+            "response_cache_bytes", "pickled bytes held by the response cache"
         )
         self._m_worker_restarts = m.gauge(
             "worker_restarts", "pool workers restarted after a crash"
@@ -486,6 +530,27 @@ class BatchScheduler:
         """Admit, batch, and await one request (may raise the 4xx errors)."""
         if self._closed:
             raise ReproError("scheduler is closed")
+        # Hot path: a remembered identical run answers before admission
+        # control, batching or breaker checks -- sound because the
+        # determinism contract makes the cached result byte-identical to
+        # the recompute it replaces.
+        if self.response_cache.enabled:
+            hit = self.response_cache.get(
+                (request.group_key(),) + request.work_key()
+            )
+            if hit is not None:
+                self._m_requests.inc()
+                self._m_cache_hits.inc()
+                return ServedResult(
+                    result=hit,
+                    batch_size=1,
+                    batch_unique=1,
+                    coalesced=False,
+                    queue_seconds=0.0,
+                    compute_seconds=0.0,
+                    cached=True,
+                )
+            self._m_cache_misses.inc()
         if self._pending >= self.max_queue:
             self._m_rejected.inc(label="queue_full")
             raise QueueFullError(
@@ -567,9 +632,11 @@ class BatchScheduler:
     ):
         """Resolve an unhealthy-group/tight-deadline request.
 
-        Returns a finished :class:`ServedResult` (response-cache replay),
-        a rewritten ``(request, gkey, pipe, degraded_mode)`` tuple to
-        enqueue instead, or raises :class:`CircuitOpenError`.
+        Returns a rewritten ``(request, gkey, pipe, degraded_mode)``
+        tuple to enqueue instead, or raises :class:`CircuitOpenError`.
+        (A response-cache replay needs no degradation ladder any more:
+        the hot-path check in :meth:`submit` already answered any
+        request whose identical run is remembered, at full fidelity.)
         """
         shed = CircuitOpenError(
             f"circuit breaker open for group {gkey}",
@@ -579,20 +646,6 @@ class BatchScheduler:
             self._m_rejected.inc(label="breaker_open")
             self._refresh_breaker_metrics()
             raise shed
-        cached = self._response_cache.get((gkey,) + request.work_key())
-        if cached is not None:
-            self._m_requests.inc()
-            self._m_degraded.inc(label="cached")
-            return ServedResult(
-                result=cached,
-                batch_size=1,
-                batch_unique=1,
-                coalesced=False,
-                queue_seconds=0.0,
-                compute_seconds=0.0,
-                degraded=True,
-                degraded_mode="cached",
-            )
         if request.config.enhance not in ("", "none"):
             bare = replace(
                 request, config=replace(request.config, enhance="none")
@@ -623,13 +676,15 @@ class BatchScheduler:
         )
 
     def _remember(self, gkey: str, request: MapRequest, result) -> None:
-        if self.response_cache_size <= 0:
+        if not self.response_cache.enabled:
             return
-        key = (gkey,) + request.work_key()
-        self._response_cache.pop(key, None)
-        self._response_cache[key] = result
-        while len(self._response_cache) > self.response_cache_size:
-            self._response_cache.pop(next(iter(self._response_cache)))
+        self.response_cache.put((gkey,) + request.work_key(), result)
+        stats = self.response_cache.stats()
+        self._m_cache_entries.set(stats["entries"])
+        self._m_cache_bytes.set(stats["bytes"])
+        self._m_cache_evictions.inc(
+            stats["evictions"] - self._m_cache_evictions.value
+        )
 
     def _flush(self, gkey: str) -> None:
         """Move up to ``max_batch`` queued jobs of a group into a dispatch."""
@@ -688,7 +743,17 @@ class BatchScheduler:
                 )
                 for req in reqs
             ]
-            futures = self._pool.submit(gkey, pipe._pickle_payload(), items)
+            # All requests in a group share one topology (it is part of
+            # the group key), so the whole batch pins to that topology's
+            # rendezvous-routed worker -- its session cache stays hot.
+            pin = (
+                int(self._pool_router.route(reqs[0].topology))
+                if self._pool_router is not None
+                else None
+            )
+            futures = self._pool.submit(
+                gkey, pipe._pickle_payload(), items, worker=pin
+            )
             outcomes = []
             for future in futures:
                 try:

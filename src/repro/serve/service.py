@@ -51,7 +51,7 @@ from repro.errors import (
     ReproError,
     TransientError,
 )
-from repro.serve.cache import TopologyCache
+from repro.serve.cache import DEFAULT_RESPONSE_CACHE_BYTES, TopologyCache
 from repro.serve.faults import FaultPlan
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.retry import RetryPolicy
@@ -383,6 +383,10 @@ def result_body(served: ServedResult) -> dict:
         # byte-identity-contracted full result.
         body["degraded"] = True
         body["degraded_mode"] = served.degraded_mode
+    if served.cached:
+        # Informational only: a response-cache hit is full fidelity
+        # (byte-identical to a recompute by the determinism contract).
+        body["cached"] = True
     return body
 
 
@@ -612,6 +616,10 @@ class ServeSettings:
     #: > 0 moves batch compute onto the supervised crash-tolerant pool
     workers: int = 0
     max_sessions: int | None = None
+    #: bound on memoized per-group :class:`Pipeline` objects; pipelines
+    #: pin their topology session, so shrinking this (with
+    #: ``max_sessions``) is what actually caps labeling residency
+    max_pipelines: int = 64
     labeling_cache: str | None = None
     max_graph_n: int | None = None
     warm: tuple[str, ...] = ()
@@ -624,9 +632,14 @@ class ServeSettings:
     #: ``None`` falls back to the ``REPRO_FAULTS`` environment variable
     faults: str | None = None
     response_cache: int = 128
+    #: byte budget of the run-identity response cache (0 disables it)
+    response_cache_bytes: int = DEFAULT_RESPONSE_CACHE_BYTES
     #: process-default kernel backend ("" = auto); per-request configs
     #: can still name their own (``config.backend`` on the wire)
     backend: str = ""
+    #: > 0 serves through a consistent-hash front end over this many
+    #: backend worker processes (see :mod:`repro.serve.shard`)
+    shards: int = 0
 
 
 def build_service(settings: ServeSettings) -> MappingService:
@@ -648,6 +661,7 @@ def build_service(settings: ServeSettings) -> MappingService:
         window_s=settings.window_ms / 1000.0,
         max_batch=settings.max_batch,
         max_queue=settings.max_queue,
+        max_pipelines=settings.max_pipelines,
         jobs=settings.jobs,
         workers=settings.workers,
         cache=cache,
@@ -660,6 +674,7 @@ def build_service(settings: ServeSettings) -> MappingService:
         breaker_reset_s=settings.breaker_reset_s,
         faults=plan,
         response_cache_size=settings.response_cache,
+        response_cache_bytes=settings.response_cache_bytes,
     )
     return MappingService(scheduler, max_graph_n=settings.max_graph_n)
 

@@ -1,0 +1,575 @@
+"""Scale-out serving: consistent-hash sharding over serve workers.
+
+One serve process amortizes labelings and batches well, but it is still
+one process.  This module adds the horizontal layer: a front end that
+routes requests across ``N`` independent backend serve workers by
+**rendezvous (highest-random-weight) hashing on the topology name**.
+
+Why hash on topology?  The expensive per-worker state is the topology
+session (labeling + distance matrix) and the response cache keyed by
+run identity -- both functions of the topology.  Routing every request
+for a topology to the same worker keeps that worker's session LRU and
+response LRU hot; the ``REPRO_LABELING_CACHE`` npz disk tier is the only
+cross-worker state, by design.  Rendezvous hashing gives the stability
+the cache economics need: the route is a pure function of
+``sha256(shard | key)``, identical in every process with no coordination,
+and adding or removing one shard of ``N`` moves only ``~1/N`` of the
+keys (test-asserted) -- every other shard's caches stay warm.
+
+Availability: the front end walks a key's full preference order.  A
+shard that cannot be *reached* (connect failure, timeout, torn
+connection) is failed over -- the next-ranked shard computes the same
+deterministic result, byte-identical by the determinism contract -- and
+after ``fail_threshold`` consecutive transport failures a shard is
+marked down for ``down_cooldown_s`` so traffic stops queuing on a
+corpse.  Service-level answers (including 4xx/5xx) are returned as-is:
+the shard answered, so its verdict stands and its breakers stay
+authoritative.
+
+``/healthz`` and ``/metrics`` aggregate across shards (per-shard detail
+included); the numeric merge rule is: counters and histogram
+count/sum add, ``uptime_seconds``/``max``/percentiles take the worst
+shard, ``min`` takes the best.
+
+Wired as ``repro serve --shards N``: :class:`ShardCluster` spawns the
+workers on ephemeral ports and :func:`run_sharded_server` runs the
+front end on the public port.  The same rendezvous router also pins
+batch groups to supervised-pool workers (scheduler) and fans
+experiment-sweep tasks out by topology (runner ``dispatch="shards"``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import sys
+import threading
+import time
+from dataclasses import replace
+from functools import partial
+
+from repro.errors import ConfigurationError, ReproError, TransientError
+from repro.serve.loadgen import http_request_json
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.service import (
+    ServeSettings,
+    build_service,
+    handle_http_connection,
+)
+from repro.utils.parallel import preferred_mp_context
+
+#: transport-level failures that trigger failover to the next shard --
+#: deliberately excludes service answers of any HTTP status (the shard
+#: is alive and its verdict, e.g. 429 admission control, stands).
+TRANSPORT_ERRORS = (
+    ConnectionError,
+    OSError,
+    asyncio.TimeoutError,
+    asyncio.IncompleteReadError,
+)
+
+
+class ShardRouter:
+    """Rendezvous (highest-random-weight) hash over named shards.
+
+    ``route(key)`` is a pure function of the shard names and the key --
+    deterministic across processes and restarts, no shared state.  Each
+    shard's weight for a key is ``sha256("<shard>|<key>")``; the key
+    routes to the highest weight, and ``ranked(key)`` is the full
+    preference order used for failover.  Removing a shard moves exactly
+    the keys it owned (everyone else's order is untouched); adding one
+    moves only the keys whose new weight tops the old maximum --
+    ``~1/N`` of them.
+    """
+
+    def __init__(self, shards) -> None:
+        names = [str(s) for s in shards]
+        if not names:
+            raise ConfigurationError("router needs at least one shard")
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate shard names in {names}")
+        self.shards: tuple[str, ...] = tuple(sorted(names))
+
+    @staticmethod
+    def weight(shard: str, key: str) -> int:
+        digest = hashlib.sha256(f"{shard}|{key}".encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def ranked(self, key: str) -> list[str]:
+        """All shards in preference order for ``key`` (failover order)."""
+        key = str(key)
+        return sorted(self.shards, key=lambda s: (-self.weight(s, key), s))
+
+    def route(self, key: str) -> str:
+        """The owning shard for ``key``."""
+        key = str(key)
+        return max(self.shards, key=lambda s: (self.weight(s, key), s))
+
+
+def _merge_numeric(total: dict, part: dict) -> dict:
+    """Aggregate one shard's JSON metrics into ``total`` (see module doc)."""
+    for key, value in part.items():
+        if isinstance(value, bool):
+            total[key] = value
+        elif isinstance(value, (int, float)):
+            if key in ("uptime_seconds", "max", "p50", "p95", "p99", "mean"):
+                total[key] = max(total.get(key, value), value)
+            elif key == "min":
+                total[key] = min(total.get(key, value), value)
+            else:
+                total[key] = total.get(key, 0) + value
+        elif isinstance(value, dict):
+            total[key] = _merge_numeric(dict(total.get(key, {})), value)
+        else:
+            total[key] = value
+    return total
+
+
+class ShardFrontend:
+    """Routes wire operations across backend shards (duck-types the
+    ``service`` interface of :func:`handle_http_connection`).
+
+    ``backends`` maps shard name -> ``(host, port)``.  Transport
+    failures fail over along the router's preference order and, past
+    ``fail_threshold`` consecutive failures, mark the shard down for
+    ``down_cooldown_s`` (downed shards are still tried last-resort when
+    every ranked shard is down, so a wrongly-marked shard recovers).
+    """
+
+    def __init__(
+        self,
+        backends: dict,
+        *,
+        metrics: MetricsRegistry | None = None,
+        fail_threshold: int = 2,
+        down_cooldown_s: float = 2.0,
+        request_timeout_s: float = 120.0,
+        clock=time.monotonic,
+    ) -> None:
+        if fail_threshold < 1 or down_cooldown_s < 0:
+            raise ConfigurationError(
+                "fail_threshold must be >= 1 and down_cooldown_s >= 0"
+            )
+        self.backends = {str(k): (str(h), int(p)) for k, (h, p) in backends.items()}
+        self.router = ShardRouter(self.backends)
+        self.fail_threshold = int(fail_threshold)
+        self.down_cooldown_s = float(down_cooldown_s)
+        self.request_timeout_s = float(request_timeout_s)
+        self.clock = clock
+        self.metrics = metrics if metrics is not None else MetricsRegistry(
+            namespace="repro_shard"
+        )
+        self._fails: dict[str, int] = {name: 0 for name in self.backends}
+        self._down_until: dict[str, float] = {name: 0.0 for name in self.backends}
+        m = self.metrics
+        self._m_requests = m.counter(
+            "frontend_requests_total", "operations handled by the front end, by op"
+        )
+        self._m_responses = m.counter(
+            "frontend_responses_total", "responses sent, by status code"
+        )
+        self._m_routed = m.counter(
+            "shard_requests_total", "requests forwarded, by shard"
+        )
+        self._m_failovers = m.counter(
+            "shard_failovers_total",
+            "transport failures that failed over, by failing shard",
+        )
+        self._m_unrouteable = m.counter(
+            "shard_unrouteable_total", "requests with no reachable shard"
+        )
+        self._m_down = m.gauge("shards_down", "shards currently marked down")
+
+    # -- shard health bookkeeping --------------------------------------
+    def _mark_failure(self, shard: str) -> None:
+        self._fails[shard] += 1
+        if self._fails[shard] >= self.fail_threshold:
+            self._down_until[shard] = self.clock() + self.down_cooldown_s
+        self._refresh_down_gauge()
+
+    def _mark_success(self, shard: str) -> None:
+        self._fails[shard] = 0
+        self._down_until[shard] = 0.0
+        self._refresh_down_gauge()
+
+    def _refresh_down_gauge(self) -> None:
+        now = self.clock()
+        self._m_down.set(
+            sum(1 for until in self._down_until.values() if until > now)
+        )
+
+    def down_shards(self) -> list[str]:
+        now = self.clock()
+        return [s for s, until in self._down_until.items() if until > now]
+
+    def _candidates(self, key: str) -> list[str]:
+        """Preference order with downed shards demoted to last resort."""
+        ranked = self.router.ranked(key)
+        now = self.clock()
+        up = [s for s in ranked if self._down_until[s] <= now]
+        return up + [s for s in ranked if self._down_until[s] > now]
+
+    # -- forwarding ----------------------------------------------------
+    async def _send(self, key: str, path: str, body: dict | None):
+        """Forward one request along ``key``'s failover order."""
+        last_exc: BaseException | None = None
+        for shard in self._candidates(key):
+            host, port = self.backends[shard]
+            try:
+                status, reply = await http_request_json(
+                    host, port, "POST", path, body,
+                    timeout=self.request_timeout_s,
+                )
+            except TRANSPORT_ERRORS as exc:
+                self._mark_failure(shard)
+                self._m_failovers.inc(label=shard)
+                last_exc = exc
+                continue
+            self._mark_success(shard)
+            self._m_routed.inc(label=shard)
+            return status, reply
+        self._m_unrouteable.inc()
+        raise TransientError(
+            f"no shard reachable for key {key!r} "
+            f"({len(self.backends)} configured): "
+            f"{type(last_exc).__name__}: {last_exc}"
+        )
+
+    # -- the service interface -----------------------------------------
+    async def handle(self, op: str, payload: dict) -> tuple[int, dict | str, dict]:
+        """Dispatch one operation -> ``(status, body, extra_headers)``."""
+        self._m_requests.inc(label=str(op))
+        try:
+            if op == "healthz":
+                return await self._healthz()
+            if op == "metrics":
+                return await self._metrics(payload)
+            if op in ("map", "enhance"):
+                key = str((payload or {}).get("topology", ""))
+                status, body = await self._send(key, f"/{op}", payload)
+                return status, body, {}
+            if op == "batch":
+                return await self._batch(payload)
+            return 404, {"ok": False, "error": "not_found",
+                         "message": f"unknown operation {op!r}"}, {}
+        except TransientError as exc:
+            hint = 0.5
+            return 503, {"ok": False, "error": "transient", "message": str(exc),
+                         "retry_after_s": hint}, {"Retry-After": f"{hint:.3f}"}
+        except ReproError as exc:
+            return 400, {"ok": False, "error": "bad_request",
+                         "message": str(exc)}, {}
+
+    async def _batch(self, payload: dict) -> tuple[int, dict, dict]:
+        requests = (payload or {}).get("requests")
+        if not isinstance(requests, list) or not requests:
+            raise ReproError("batch body needs a non-empty 'requests' list")
+        if not all(isinstance(item, dict) for item in requests):
+            raise ReproError("every 'requests' entry must be a JSON object")
+        # Split per owning shard, forward the sub-batches concurrently
+        # (each shares its shard's batching window), reassemble in order.
+        groups: dict[str, list[int]] = {}
+        for idx, item in enumerate(requests):
+            shard = self.router.route(str(item.get("topology", "")))
+            groups.setdefault(shard, []).append(idx)
+
+        async def run_group(idxs: list[int]) -> list[dict]:
+            key = str(requests[idxs[0]].get("topology", ""))
+            sub = {"requests": [requests[i] for i in idxs]}
+            try:
+                status, body = await self._send(key, "/batch", sub)
+            except TransientError as exc:
+                err = {"status_code": 503, "ok": False, "error": "transient",
+                       "message": str(exc)}
+                return [dict(err) for _ in idxs]
+            if (
+                status == 200
+                and isinstance(body, dict)
+                and isinstance(body.get("results"), list)
+                and len(body["results"]) == len(idxs)
+            ):
+                return body["results"]
+            wrapped = {"status_code": status,
+                       **(body if isinstance(body, dict) else {"body": body})}
+            return [dict(wrapped) for _ in idxs]
+
+        outs = await asyncio.gather(*(run_group(idxs) for idxs in groups.values()))
+        results: list[dict | None] = [None] * len(requests)
+        for idxs, group_results in zip(groups.values(), outs):
+            for i, item_result in zip(idxs, group_results):
+                results[i] = item_result
+        return 200, {"ok": True, "results": results}, {}
+
+    async def _probe(self, shard: str, path: str):
+        host, port = self.backends[shard]
+        try:
+            return await http_request_json(host, port, "GET", path, timeout=30.0)
+        except TRANSPORT_ERRORS as exc:
+            return None, {"status": "unreachable",
+                          "error": f"{type(exc).__name__}: {exc}"}
+
+    async def _healthz(self) -> tuple[int, dict, dict]:
+        outs = await asyncio.gather(
+            *(self._probe(s, "/healthz") for s in self.router.shards)
+        )
+        shards: dict[str, dict] = {}
+        up = 0
+        for shard, (status, body) in zip(self.router.shards, outs):
+            ok = (
+                status == 200
+                and isinstance(body, dict)
+                and body.get("status") == "ok"
+            )
+            up += ok
+            shards[shard] = body if isinstance(body, dict) else {"status": "error"}
+        total = len(self.router.shards)
+        body = {
+            # "ok" as long as one shard can serve: every key has a full
+            # failover order, so a partial cluster degrades, not dies.
+            "status": "ok" if up else "unreachable",
+            "shards_up": up,
+            "shards_total": total,
+            "shards_down": self.down_shards(),
+            "router": list(self.router.shards),
+            "shards": shards,
+        }
+        return (200 if up else 503), body, {}
+
+    async def _metrics(self, payload: dict) -> tuple[int, dict | str, dict]:
+        fmt = (payload or {}).get("format", "text")
+        outs = await asyncio.gather(
+            *(self._probe(s, "/metrics?format=json") for s in self.router.shards)
+        )
+        aggregate: dict = {}
+        per_shard: dict[str, dict] = {}
+        reachable = 0
+        for shard, (status, body) in zip(self.router.shards, outs):
+            per_shard[shard] = body if isinstance(body, dict) else {}
+            if status == 200 and isinstance(body, dict):
+                reachable += 1
+                aggregate = _merge_numeric(aggregate, body)
+        out = {
+            **aggregate,
+            "shards_reporting": reachable,
+            "frontend": self.metrics.render_json(),
+            "shards": per_shard,
+        }
+        if fmt == "json":
+            return 200, out, {}
+        extra = {
+            k: v for k, v in aggregate.items()
+            if isinstance(v, (int, float)) and not isinstance(v, bool)
+        }
+        extra["shards_reporting"] = reachable
+        return 200, self.metrics.render_prometheus(extra=extra), {}
+
+    def record_response(self, status: int) -> None:
+        self._m_responses.inc(label=str(status))
+
+
+# ----------------------------------------------------------------------
+# Worker processes
+# ----------------------------------------------------------------------
+def _shard_worker_main(settings: ServeSettings, conn) -> None:
+    """Entry point of one backend shard: serve on an ephemeral port,
+    report the bound port through ``conn``, then serve forever."""
+
+    async def main() -> None:
+        service = build_service(settings)
+        try:
+            server = await asyncio.start_server(
+                partial(handle_http_connection, service=service),
+                settings.host,
+                settings.port,
+            )
+            conn.send(int(server.sockets[0].getsockname()[1]))
+            conn.close()
+            async with server:
+                await server.serve_forever()
+        finally:
+            service.scheduler.close()
+
+    asyncio.run(main())
+
+
+class ShardCluster:
+    """``shards`` backend serve workers on ephemeral ports.
+
+    Context manager: entering spawns the processes (each a full
+    :func:`build_service` stack with ``shards=0``) and fills
+    ``backends`` (shard name -> ``(host, port)``); exiting terminates
+    them.  All workers share the parent's ``labeling_cache`` directory
+    -- the disk tier is the only cross-worker state.
+    """
+
+    def __init__(
+        self,
+        settings: ServeSettings,
+        shards: int,
+        start_timeout_s: float = 60.0,
+    ) -> None:
+        if shards < 1:
+            raise ConfigurationError(f"need >= 1 shard, got {shards}")
+        self.settings = settings
+        self.shards = int(shards)
+        self.start_timeout_s = float(start_timeout_s)
+        self.backends: dict[str, tuple[str, int]] = {}
+        self._procs: dict[str, object] = {}
+
+    def __enter__(self) -> "ShardCluster":
+        ctx = preferred_mp_context()
+        worker_settings = replace(
+            self.settings, port=0, shards=0, stdio=False, warm=self.settings.warm
+        )
+        pending: list[tuple[str, object]] = []
+        for i in range(self.shards):
+            name = f"shard{i}"
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_shard_worker_main,
+                args=(worker_settings, child_conn),
+                daemon=True,
+                name=f"repro-{name}",
+            )
+            proc.start()
+            child_conn.close()
+            self._procs[name] = proc
+            pending.append((name, parent_conn))
+        try:
+            for name, parent_conn in pending:
+                if not parent_conn.poll(self.start_timeout_s):
+                    raise ReproError(
+                        f"{name} did not report a port within "
+                        f"{self.start_timeout_s:g}s"
+                    )
+                self.backends[name] = (
+                    self.settings.host, int(parent_conn.recv())
+                )
+                parent_conn.close()
+        except BaseException:
+            self._terminate()
+            raise
+        return self
+
+    def kill(self, name: str) -> None:
+        """Hard-kill one shard (failover tests / chaos drills)."""
+        proc = self._procs.get(name)
+        if proc is None:
+            raise ConfigurationError(
+                f"unknown shard {name!r}; known: {sorted(self._procs)}"
+            )
+        proc.terminate()
+        proc.join(timeout=10)
+
+    def _terminate(self) -> None:
+        for proc in self._procs.values():
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs.values():
+            proc.join(timeout=5)
+        self._procs.clear()
+
+    def __exit__(self, *exc_info) -> None:
+        self._terminate()
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def run_sharded_server(settings: ServeSettings) -> int:
+    """Blocking entry for ``repro serve --shards N``."""
+
+    with ShardCluster(settings, settings.shards) as cluster:
+        frontend = ShardFrontend(cluster.backends)
+
+        async def amain() -> None:
+            server = await asyncio.start_server(
+                partial(handle_http_connection, service=frontend),
+                settings.host,
+                settings.port,
+            )
+            bound = server.sockets[0].getsockname()
+            routes = ", ".join(
+                f"{name}={host}:{port}"
+                for name, (host, port) in sorted(cluster.backends.items())
+            )
+            print(
+                f"repro serve: front end on http://{bound[0]}:{bound[1]} "
+                f"routing {settings.shards} shard(s) by topology ({routes})",
+                file=sys.stderr,
+                flush=True,
+            )
+            async with server:
+                await server.serve_forever()
+
+        try:
+            asyncio.run(amain())
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            return 0
+    return 0
+
+
+class FrontendThread:
+    """An in-process shard front end on an ephemeral port (tests, benches).
+
+    Mirrors :class:`~repro.serve.service.ServerThread`: ``with
+    FrontendThread(backends) as front:`` exposes ``front.url`` while a
+    private event loop serves :class:`ShardFrontend` in a daemon thread.
+    The backend processes themselves are managed separately (usually by
+    a :class:`ShardCluster` the caller entered first).
+    """
+
+    def __init__(
+        self, backends: dict, host: str = "127.0.0.1", **frontend_kwargs
+    ) -> None:
+        self.backends = dict(backends)
+        self.host = host
+        self.port: int | None = None
+        self.frontend: ShardFrontend | None = None
+        self._kwargs = frontend_kwargs
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._startup_error: BaseException | None = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def _run(self) -> None:
+        async def main() -> None:
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            try:
+                self.frontend = ShardFrontend(self.backends, **self._kwargs)
+                server = await asyncio.start_server(
+                    partial(handle_http_connection, service=self.frontend),
+                    self.host,
+                    0,
+                )
+            except BaseException as exc:
+                self._startup_error = exc
+                self._ready.set()
+                raise
+            self.port = server.sockets[0].getsockname()[1]
+            self._ready.set()
+            async with server:
+                await self._stop.wait()
+
+        asyncio.run(main())
+
+    def __enter__(self) -> "FrontendThread":
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise ReproError("front-end thread failed to start in 30s")
+        if self._startup_error is not None:
+            raise ReproError(
+                f"front-end thread failed to start: {self._startup_error}"
+            )
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30)

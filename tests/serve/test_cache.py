@@ -88,3 +88,89 @@ class TestSpecResolution:
         cache.warm(["grid4x4", "hq4"])
         assert labeling_stats()["computed"] - base == 2
         assert cache.get("grid4x4")._labeling is not None
+
+
+class TestResponseCache:
+    def _make(self, **kwargs):
+        from repro.serve.cache import ResponseCache
+
+        return ResponseCache(**kwargs)
+
+    def test_lru_eviction_by_entry_count(self):
+        cache = self._make(max_entries=2)
+        cache.put(("a",), "ra")
+        cache.put(("b",), "rb")
+        assert cache.get(("a",)) == "ra"  # refresh: b is now LRU
+        cache.put(("c",), "rc")  # evicts b
+        assert cache.get(("b",)) is None
+        assert cache.get(("a",)) == "ra" and cache.get(("c",)) == "rc"
+        stats = cache.stats()
+        assert stats["evictions"] == 1 and stats["entries"] == 2
+
+    def test_eviction_by_byte_budget(self):
+        import pickle
+
+        payload = "x" * 1000
+        size = len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+        cache = self._make(max_entries=100, max_bytes=2 * size)
+        cache.put(("a",), payload)
+        cache.put(("b",), payload)
+        assert len(cache) == 2 and cache.bytes <= cache.max_bytes
+        cache.put(("c",), payload)  # over budget: LRU "a" evicted
+        assert cache.get(("a",)) is None
+        assert len(cache) == 2 and cache.bytes <= cache.max_bytes
+        assert cache.stats()["evictions"] == 1
+
+    def test_oversized_entry_is_not_stored(self):
+        cache = self._make(max_entries=10, max_bytes=64)
+        cache.put(("big",), "y" * 10_000)
+        assert len(cache) == 0 and cache.bytes == 0
+        assert cache.stats()["evictions"] == 0  # skipped, nothing flushed
+
+    def test_replacing_a_key_adjusts_bytes(self):
+        cache = self._make()
+        cache.put(("k",), "small")
+        first = cache.bytes
+        cache.put(("k",), "a much longer replacement value")
+        assert len(cache) == 1 and cache.bytes != first
+
+    def test_zero_disables(self):
+        for kwargs in ({"max_entries": 0}, {"max_bytes": 0}):
+            cache = self._make(**kwargs)
+            assert not cache.enabled
+            cache.put(("k",), "v")
+            assert len(cache) == 0
+
+    def test_negative_bounds_rejected(self):
+        from repro.errors import ConfigurationError
+        import pytest
+
+        with pytest.raises(ConfigurationError):
+            self._make(max_entries=-1)
+        with pytest.raises(ConfigurationError):
+            self._make(max_bytes=-1)
+
+    def test_key_is_backend_independent(self):
+        """Requests differing only in kernel backend share one cache cell.
+
+        ``PipelineConfig.IDENTITY_EXCLUDED`` keeps ``backend`` out of
+        ``identity()``; the scheduler's response-cache key is built from
+        ``group_key() + work_key()``, so the audit here is that those
+        keys collide exactly when the results are byte-identical.
+        """
+        from repro.serve.scheduler import GraphSpec, MapRequest
+        from repro.serve.service import parse_config
+
+        def key_for(backend):
+            request = MapRequest(
+                topology="grid4x4",
+                graph=GraphSpec(kind="generate", instance="p2p-Gnutella", seed=1),
+                config=parse_config({"nh": 1, "backend": backend}),
+                seed=1,
+            )
+            return (request.group_key(),) + request.work_key()
+
+        assert key_for("") == key_for("numpy")
+        cache = self._make()
+        cache.put(key_for(""), "shared-result")
+        assert cache.get(key_for("numpy")) == "shared-result"

@@ -245,7 +245,11 @@ class TestBreaker:
 
 
 class TestDegradation:
-    def test_breaker_open_replays_cached_response(self):
+    def test_breaker_open_served_from_response_cache(self):
+        # The response cache answers *before* admission and the breaker,
+        # so a previously computed identity keeps serving -- at full
+        # fidelity, no degraded opt-in needed -- even while the group's
+        # circuit is open.
         request = _request(seed=4)
 
         async def go():
@@ -254,22 +258,16 @@ class TestDegradation:
                 first = await scheduler.submit(request)  # warms the cache
                 breaker = scheduler.breaker_for(request.group_key())
                 breaker.record_failure()  # force the group unhealthy
-                degraded_req = MapRequest(
-                    topology=request.topology,
-                    graph=request.graph,
-                    config=request.config,
-                    seed=request.seed,
-                    allow_degraded=True,
-                )
-                served = await scheduler.submit(degraded_req)
+                served = await scheduler.submit(request)
                 return first, served, scheduler.metrics.render_json()
             finally:
                 scheduler.close()
 
         first, served, metrics = run(go())
-        assert served.degraded and served.degraded_mode == "cached"
+        assert served.cached and not served.degraded
         assert np.array_equal(served.result.mu_final, first.result.mu_final)
-        assert metrics["degraded_total"]["cached"] == 1
+        assert metrics["response_cache_hits_total"] == 1
+        assert not metrics["degraded_total"]
 
     def test_breaker_open_without_opt_in_sheds(self):
         request = _request(seed=4)

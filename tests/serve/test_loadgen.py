@@ -86,3 +86,77 @@ class TestEndToEnd:
         payload = report.to_json()
         assert payload["profile"]["requests"] == 10
         assert "ok in" in report.render()
+
+
+class TestTrafficKnobs:
+    def test_default_plan_unchanged_by_knob_code(self):
+        # The knobs draw from their own RNG streams only when enabled, so
+        # a plain profile's plan is byte-identical to the pre-knob plans.
+        plain = plan_requests(LoadProfile(requests=30, seed=5))
+        spelled = plan_requests(
+            LoadProfile(
+                requests=30, seed=5, repeat_fraction=0.0, enhance_fraction=0.0
+            )
+        )
+        assert plain == spelled
+        assert all(body.get("op", "map") == "map" for _t, body in plain)
+
+    def test_repeat_fraction_replays_earlier_bodies(self):
+        profile = LoadProfile(requests=60, seed=5, repeat_fraction=0.5)
+        plan = plan_requests(profile)
+        bodies = [body for _t, body in plan]
+        assert len(bodies) > len({str(b) for b in bodies})  # duplicates exist
+        # arrivals are untouched by the knob
+        plain = plan_requests(LoadProfile(requests=60, seed=5))
+        assert [t for t, _ in plan] == [t for t, _ in plain]
+
+    def test_repeat_fraction_one_after_first_is_all_repeats(self):
+        plan = plan_requests(
+            LoadProfile(requests=20, seed=2, repeat_fraction=1.0)
+        )
+        seen = {str(plan[0][1])}
+        for _t, body in plan[1:]:
+            assert str(body) in seen
+            seen.add(str(body))
+
+    def test_enhance_fraction_converts_with_valid_mapping(self):
+        profile = LoadProfile(requests=30, seed=4, enhance_fraction=0.5)
+        plan = plan_requests(profile)
+        enhanced = [b for _t, b in plan if b.get("op") == "enhance"]
+        assert enhanced, "a 0.5 fraction over 30 requests must convert some"
+        for body in enhanced:
+            from repro.api.topology import Topology
+            from repro.serve.scheduler import GraphSpec
+
+            n = GraphSpec.from_wire(body["graph"]).build().n
+            n_pe = Topology.from_name(body["topology"]).graph.n
+            assert len(body["mu"]) == n
+            assert set(body["mu"]) <= set(range(n_pe))
+        # conversion is deterministic
+        assert plan == plan_requests(profile)
+
+    def test_knob_validation(self):
+        with pytest.raises(ConfigurationError):
+            LoadProfile(repeat_fraction=-0.1)
+        with pytest.raises(ConfigurationError):
+            LoadProfile(enhance_fraction=1.1)
+
+    def test_mixed_ops_served_end_to_end(self):
+        scheduler = BatchScheduler(window_s=0.02, max_batch=8)
+        service = MappingService(scheduler)
+        profile = LoadProfile(
+            requests=14,
+            rate=300.0,
+            seed=1,
+            nh=1,
+            repeat_fraction=0.5,
+            enhance_fraction=0.3,
+        )
+        ops = {b.get("op", "map") for _t, b in plan_requests(profile)}
+        assert ops == {"map", "enhance"}
+        try:
+            report = asyncio.run(run_load(profile, service=service))
+        finally:
+            scheduler.close()
+            register_admission_hook(None)
+        assert report.ok == report.requests == 14 and not report.errors

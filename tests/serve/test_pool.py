@@ -121,3 +121,37 @@ class TestCrashRecovery:
             with pytest.raises(PoisonRequestError):
                 futures[1].result(timeout=60)
         assert survivors == clean
+
+
+def _whoami(_ctx, item):
+    return (os.getpid(), item)
+
+
+class TestWorkerPinning:
+    def test_pinned_tasks_share_their_worker(self):
+        with SupervisedPool(_whoami, workers=2) as pool:
+            on0 = pool.submit("p", None, ["a", "b"], worker=0)
+            on1 = pool.submit("p", None, ["c"], worker=1)
+            again0 = pool.submit("p", None, ["d"], worker=0)
+            pids0 = {f.result(timeout=30)[0] for f in on0 + again0}
+            pids1 = {f.result(timeout=30)[0] for f in on1}
+            assert len(pids0) == 1 and len(pids1) == 1
+            assert pids0 != pids1
+
+    def test_invalid_pin_rejected(self):
+        with SupervisedPool(_double, workers=2) as pool:
+            with pytest.raises(ConfigurationError):
+                pool.submit("p", None, [1], worker=2)
+            with pytest.raises(ConfigurationError):
+                pool.submit("p", None, [1], worker=-1)
+
+    def test_pin_survives_crash_restart(self):
+        # Worker indices are stable across restarts, so a pin placed
+        # before a crash lands on that slot's replacement process.
+        with SupervisedPool(_crash_on_marker, workers=2) as pool:
+            (dead,) = pool.submit("p", None, ["die-pin"], worker=1)
+            with pytest.raises(PoisonRequestError):
+                dead.result(timeout=60)
+            (alive,) = pool.submit("p", None, ["ok"], worker=1)
+            assert alive.result(timeout=60) == "ok"
+            assert pool.stats()["restarts"] >= 1

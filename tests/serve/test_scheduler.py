@@ -286,3 +286,107 @@ class TestWindows:
                 scheduler.close()
 
         run(go())
+
+
+class TestResponseCacheHotPath:
+    """The run-identity response cache answers before admission."""
+
+    def test_second_identical_submit_is_served_from_cache(self):
+        request = _request(seed=11)
+
+        async def go():
+            scheduler = BatchScheduler(window_s=0.01)
+            try:
+                first = await scheduler.submit(request)
+                second = await scheduler.submit(request)
+                return first, second, scheduler.metrics.render_json()
+            finally:
+                scheduler.close()
+
+        first, second, metrics = run(go())
+        assert not first.cached and second.cached
+        # The replay *is* the remembered result object: byte identity by
+        # construction, zero recompute (one batch ever dispatched).
+        assert second.result is first.result
+        assert np.array_equal(second.result.mu_final, first.result.mu_final)
+        assert metrics["batches_total"] == 1
+        assert metrics["requests_total"] == 2
+        assert metrics["response_cache_hits_total"] == 1
+        assert metrics["response_cache_misses_total"] == 1
+        assert metrics["response_cache_entries"] == 1
+        assert metrics["response_cache_bytes"] > 0
+
+    def test_cache_hit_bypasses_admission_control(self):
+        # A full queue sheds fresh work with 429 -- but a remembered
+        # identity costs no queue slot and keeps serving.
+        request = _request(seed=12)
+
+        async def go():
+            scheduler = BatchScheduler(window_s=0.01, max_queue=1)
+            try:
+                await scheduler.submit(request)
+                scheduler._pending = scheduler.max_queue  # saturate
+                with pytest.raises(QueueFullError):
+                    await scheduler.submit(_request(seed=13))
+                return await scheduler.submit(request)
+            finally:
+                scheduler._pending = 0
+                scheduler.close()
+
+        served = run(go())
+        assert served.cached
+
+    def test_disabled_cache_recomputes_every_time(self):
+        request = _request(seed=11)
+
+        async def go():
+            scheduler = BatchScheduler(window_s=0.01, response_cache_size=0)
+            try:
+                first = await scheduler.submit(request)
+                second = await scheduler.submit(request)
+                return first, second, scheduler.metrics.render_json()
+            finally:
+                scheduler.close()
+
+        first, second, metrics = run(go())
+        assert not first.cached and not second.cached
+        assert metrics["batches_total"] == 2
+        assert np.array_equal(second.result.mu_final, first.result.mu_final)
+
+    def test_byte_budget_gates_storage(self):
+        # A 1-byte budget stores nothing, so the second submit recomputes.
+        request = _request(seed=11)
+
+        async def go():
+            scheduler = BatchScheduler(window_s=0.01, response_cache_bytes=1)
+            try:
+                await scheduler.submit(request)
+                return (
+                    await scheduler.submit(request),
+                    scheduler.metrics.render_json(),
+                )
+            finally:
+                scheduler.close()
+
+        second, metrics = run(go())
+        assert not second.cached
+        assert metrics["batches_total"] == 2
+        assert metrics["response_cache_entries"] == 0
+
+    def test_different_identity_misses(self):
+        # Same topology/config, different seed -> different work_key.
+        async def go():
+            scheduler = BatchScheduler(window_s=0.01)
+            try:
+                await scheduler.submit(_request(seed=21))
+                return (
+                    await scheduler.submit(_request(seed=22)),
+                    scheduler.metrics.render_json(),
+                )
+            finally:
+                scheduler.close()
+
+        served, metrics = run(go())
+        assert not served.cached
+        assert metrics["response_cache_hits_total"] == 0
+        assert metrics["batches_total"] == 2

@@ -482,17 +482,20 @@ class TestFailureStatusMapping:
         )
         assert status == 200 and "degraded" not in reply
 
-    def test_degraded_response_carries_flags(self, service):
+    def test_repeat_response_carries_cached_flag(self, service):
+        # A replayed identity is answered by the response cache before
+        # the breaker is consulted: full fidelity, flagged "cached",
+        # never "degraded".
         body = _map_body(seed=6, allow_degraded=True)
         status, first, _ = asyncio.run(service.handle("map", body))
-        assert status == 200
+        assert status == 200 and "cached" not in first
         gkey = parse_request(body).group_key()
         breaker = service.scheduler.breaker_for(gkey)
         for _ in range(breaker.failure_threshold):
             breaker.record_failure()
         status, reply, _ = asyncio.run(service.handle("map", body))
         assert status == 200
-        assert reply["degraded"] and reply["degraded_mode"] == "cached"
+        assert reply["cached"] is True and "degraded" not in reply
         assert reply["mu"] == first["mu"]
 
     def test_healthz_exposes_breakers_and_faults(self, service):

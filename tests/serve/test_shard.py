@@ -1,0 +1,282 @@
+"""Sharded serving: router stability, routed byte identity, failover."""
+
+import asyncio
+import hashlib
+import socket
+
+import pytest
+
+from repro.api.pipeline import Pipeline
+from repro.errors import ConfigurationError
+from repro.serve.loadgen import LoadProfile, http_request_json, run_load
+from repro.serve.service import ServeSettings, ServerThread, parse_request
+from repro.serve.shard import (
+    FrontendThread,
+    ShardCluster,
+    ShardFrontend,
+    ShardRouter,
+)
+
+
+def _body(seed=0, topology="grid4x4", **extra):
+    return {
+        "topology": topology,
+        "graph": {"kind": "generate", "instance": "p2p-Gnutella", "seed": seed},
+        "seed": seed,
+        "config": {"nh": 1},
+        **extra,
+    }
+
+
+def _direct(body):
+    request = parse_request(body)
+    return Pipeline(request.topology, request.config).run(
+        request.graph.build(), seed=request.seed
+    )
+
+
+def _post(front, path, body):
+    return asyncio.run(
+        http_request_json(front.host, front.port, "POST", path, body)
+    )
+
+
+def _get(front, path):
+    return asyncio.run(http_request_json(front.host, front.port, "GET", path))
+
+
+def _dead_port() -> int:
+    """A port nothing listens on (bound once, then released)."""
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class TestShardRouter:
+    def test_route_is_the_documented_pure_function(self):
+        # Reproducing the route from sha256 alone is the cross-process
+        # determinism proof: no state, no RNG, no process identity.
+        router = ShardRouter(["shard0", "shard1", "shard2"])
+        for key in ("grid4x4", "hq4", "fattree4x3", "", "Ünïcode"):
+            expected = max(
+                router.shards,
+                key=lambda s: (
+                    int.from_bytes(
+                        hashlib.sha256(f"{s}|{key}".encode()).digest()[:8],
+                        "big",
+                    ),
+                    s,
+                ),
+            )
+            assert router.route(key) == expected
+            assert router.ranked(key)[0] == router.route(key)
+            assert sorted(router.ranked(key)) == sorted(router.shards)
+
+    def test_construction_order_is_irrelevant(self):
+        keys = [f"key{i}" for i in range(300)]
+        a = ShardRouter(["s0", "s1", "s2", "s3"])
+        b = ShardRouter(["s3", "s1", "s0", "s2"])
+        assert [a.route(k) for k in keys] == [b.route(k) for k in keys]
+
+    def test_adding_a_shard_moves_about_one_in_n_keys(self):
+        keys = [f"topo-{i}" for i in range(1000)]
+        before = ShardRouter([f"s{i}" for i in range(4)])
+        after = ShardRouter([f"s{i}" for i in range(5)])
+        moved = [k for k in keys if before.route(k) != after.route(k)]
+        # every moved key moves *to* the new shard, never between old ones
+        assert moved and all(after.route(k) == "s4" for k in moved)
+        assert len(moved) <= 1.5 * len(keys) / 5
+
+    def test_removing_a_shard_moves_only_its_keys(self):
+        keys = [f"topo-{i}" for i in range(1000)]
+        full = ShardRouter(["s0", "s1", "s2", "s3"])
+        reduced = ShardRouter(["s0", "s1", "s3"])
+        orphans = 0
+        for key in keys:
+            owner = full.route(key)
+            if owner == "s2":
+                orphans += 1
+                assert reduced.route(key) != "s2"
+            else:
+                assert reduced.route(key) == owner  # exactness, not ~
+        assert orphans > 0
+
+    def test_invalid_shard_sets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShardRouter([])
+        with pytest.raises(ConfigurationError):
+            ShardRouter(["a", "a"])
+
+
+class TestFrontendRouting:
+    """Front end over two in-process backend servers (no worker procs)."""
+
+    def _settings(self):
+        return ServeSettings(port=0, window_ms=5.0)
+
+    def test_served_through_frontend_matches_direct_run(self):
+        with ServerThread(self._settings()) as a, \
+                ServerThread(self._settings()) as b:
+            backends = {"shard0": (a.host, a.port), "shard1": (b.host, b.port)}
+            with FrontendThread(backends) as front:
+                # grid4x4 routes to shard0, hq4 to shard1 (rendezvous)
+                for topology in ("grid4x4", "hq4"):
+                    body = _body(seed=5, topology=topology)
+                    status, reply = _post(front, "/map", body)
+                    assert status == 200 and reply["ok"]
+                    direct = _direct(body)
+                    assert reply["mu"] == [int(x) for x in direct.mu_final]
+                    assert reply["identity_hash"] == direct.identity_hash
+
+    def test_repeat_is_answered_by_the_owners_response_cache(self):
+        with ServerThread(self._settings()) as a, \
+                ServerThread(self._settings()) as b:
+            backends = {"shard0": (a.host, a.port), "shard1": (b.host, b.port)}
+            with FrontendThread(backends) as front:
+                body = _body(seed=7)
+                status, first = _post(front, "/map", body)
+                status2, again = _post(front, "/map", body)
+                assert status == status2 == 200
+                assert "cached" not in first and again["cached"] is True
+                assert again["mu"] == first["mu"]
+
+    def test_requests_pin_to_their_shard(self):
+        with ServerThread(self._settings()) as a, \
+                ServerThread(self._settings()) as b:
+            backends = {"shard0": (a.host, a.port), "shard1": (b.host, b.port)}
+            router = ShardRouter(backends)
+            topologies = ["grid4x4", "hq4", "dragonfly4x2", "grid4x4"]
+            expected = {"shard0": 0, "shard1": 0}
+            with FrontendThread(backends) as front:
+                for seed, topology in enumerate(topologies):
+                    status, _reply = _post(
+                        front, "/map", _body(seed=seed, topology=topology)
+                    )
+                    assert status == 200
+                    expected[router.route(topology)] += 1
+                status, merged = _get(front, "/metrics?format=json")
+            assert status == 200
+            # aggregate view sums the per-shard counters
+            assert merged["requests_total"] == len(topologies)
+            routed = merged["frontend"]["shard_requests_total"]
+            for name, count in expected.items():
+                assert routed.get(name, 0) == count
+            # and each backend really served only its routed share
+            for name, srv in (("shard0", a), ("shard1", b)):
+                status, own = asyncio.run(
+                    http_request_json(
+                        srv.host, srv.port, "GET", "/metrics?format=json"
+                    )
+                )
+                assert own["requests_total"] == expected[name]
+
+    def test_batch_splits_by_shard_and_reassembles_in_order(self):
+        with ServerThread(self._settings()) as a, \
+                ServerThread(self._settings()) as b:
+            backends = {"shard0": (a.host, a.port), "shard1": (b.host, b.port)}
+            with FrontendThread(backends) as front:
+                items = [
+                    _body(seed=i, topology=topo, id=i)
+                    for i, topo in enumerate(
+                        ["grid4x4", "hq4", "grid4x4", "hq4"]
+                    )
+                ]
+                status, reply = _post(front, "/batch", {"requests": items})
+                assert status == 200 and reply["ok"]
+                results = reply["results"]
+                assert [r["id"] for r in results] == [0, 1, 2, 3]
+                for item, res in zip(items, results):
+                    assert res["status_code"] == 200
+                    direct = _direct({k: v for k, v in item.items() if k != "id"})
+                    assert res["mu"] == [int(x) for x in direct.mu_final]
+
+    def test_failover_serves_identical_bytes_from_next_shard(self):
+        # grid4x4's owner (shard0) is a dead port: the front end must
+        # fail over to shard1 and the result must still be exact.
+        with ServerThread(self._settings()) as live:
+            backends = {
+                "shard0": ("127.0.0.1", _dead_port()),
+                "shard1": (live.host, live.port),
+            }
+            assert ShardRouter(backends).route("grid4x4") == "shard0"
+            with FrontendThread(
+                backends, fail_threshold=1, down_cooldown_s=30.0
+            ) as front:
+                body = _body(seed=9)
+                status, reply = _post(front, "/map", body)
+                assert status == 200 and reply["ok"]
+                direct = _direct(body)
+                assert reply["mu"] == [int(x) for x in direct.mu_final]
+                assert reply["identity_hash"] == direct.identity_hash
+                assert front.frontend.down_shards() == ["shard0"]
+                # marked down: the next request skips the corpse first
+                status, _ = _post(front, "/map", _body(seed=10))
+                assert status == 200
+                status, health = _get(front, "/healthz")
+                assert status == 200  # one live shard can serve every key
+                assert health["status"] == "ok"
+                assert health["shards_up"] == 1
+                assert health["shards_down"] == ["shard0"]
+                status, metrics = _get(front, "/metrics?format=json")
+                failovers = metrics["frontend"]["shard_failovers_total"]
+                assert failovers["shard0"] >= 1
+
+    def test_every_shard_down_is_a_transient_503(self):
+        backends = {
+            "shard0": ("127.0.0.1", _dead_port()),
+            "shard1": ("127.0.0.1", _dead_port()),
+        }
+        with FrontendThread(backends, fail_threshold=1) as front:
+            status, reply = _post(front, "/map", _body())
+            assert status == 503
+            assert reply["error"] == "transient"
+            status, health = _get(front, "/healthz")
+            assert status == 503 and health["shards_up"] == 0
+
+
+class TestShardCluster:
+    def test_cluster_serves_load_and_survives_a_killed_shard(self):
+        settings = ServeSettings(port=0, window_ms=5.0)
+        with ShardCluster(settings, shards=2) as cluster:
+            assert sorted(cluster.backends) == ["shard0", "shard1"]
+            with FrontendThread(
+                cluster.backends, fail_threshold=1, down_cooldown_s=10.0
+            ) as front:
+                profile = LoadProfile(
+                    scenario="smoke",
+                    requests=12,
+                    rate=300.0,
+                    nh=1,
+                    seed_pool=1,
+                    repeat_fraction=0.4,
+                )
+                report = asyncio.run(run_load(profile, url=front.url))
+                # zero lost requests across the sharded front end
+                assert report.ok == report.requests == 12
+                # grid4x4's owner dies; the survivor serves exact bytes
+                cluster.kill("shard0")
+                body = _body(seed=3)
+                status, reply = _post(front, "/map", body)
+                assert status == 200 and reply["ok"]
+                direct = _direct(body)
+                assert reply["mu"] == [int(x) for x in direct.mu_final]
+                status, health = _get(front, "/healthz")
+                assert status == 200 and health["shards_up"] == 1
+
+    def test_unknown_kill_target_rejected(self):
+        settings = ServeSettings(port=0)
+        with ShardCluster(settings, shards=1) as cluster:
+            with pytest.raises(ConfigurationError):
+                cluster.kill("nope")
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShardCluster(ServeSettings(), shards=0)
+
+    def test_frontend_duck_types_the_service_interface(self):
+        # ShardFrontend slots into handle_http_connection unchanged, so
+        # it must expose the same handle()/record_response() surface.
+        frontend = ShardFrontend({"s0": ("127.0.0.1", _dead_port())})
+        status, body, _headers = asyncio.run(frontend.handle("frob", {}))
+        assert status == 404 and body["error"] == "not_found"
+        frontend.record_response(404)
