@@ -1,6 +1,6 @@
-"""Serving benchmarks: batching, response-cache replay, shard scaling.
+"""Serving benchmarks: batching, cache replay, sharding, tracing cost.
 
-Three gated measurements against the real HTTP service, all fired with
+Four gated measurements against the real HTTP service, all fired with
 deterministic open-loop load profiles (mixed topologies from the
 ``smoke`` scenario, exponential arrivals):
 
@@ -27,6 +27,10 @@ deterministic open-loop load profiles (mixed topologies from the
    topology and stay warm forever -- locality, not core count, is the
    win, so the gate holds on a single-core runner.
    Gate: ``scaling >= 1.6``.
+4. **Cost of tracing** -- the same server and traffic with end-to-end
+   tracing on vs. off (response cache disabled on both sides so every
+   request walks the instrumented path).  Gate: traced/untraced
+   throughput ratio ``>= 0.98`` -- tracing may cost at most 2%.
 
 Writes ``BENCH_serve.json`` next to this file and exits non-zero if any
 gate fails, making it a CI gate like ``bench_regress.py``:
@@ -86,6 +90,8 @@ SPEEDUP_FLOOR = 2.0
 CACHE_HIT_FLOOR = 0.5
 #: enforced 2-shard / 1-shard throughput ratio on the thrash profile
 SHARD_SCALING_FLOOR = 1.6
+#: enforced traced/untraced throughput ratio (tracing costs <= 2%)
+TRACING_RATIO_FLOOR = 0.98
 
 
 def _server_stats(metrics: dict) -> dict:
@@ -305,6 +311,38 @@ def run_sharding(profile: LoadProfile) -> dict:
     }
 
 
+# ----------------------------------------------------------------------
+# Section 4: cost of tracing (traced vs. untraced, identical traffic)
+# ----------------------------------------------------------------------
+def run_tracing_overhead(profile: LoadProfile) -> dict:
+    # Span bookkeeping is a few dict writes and one sha256 per request
+    # against milliseconds of mapping compute, so the traced server must
+    # stay within 2% of the untraced one.  Response cache off so every
+    # request exercises the full span tree (cache hits would hide the
+    # instrumented path); batching identical on both sides.  The traced
+    # server runs *first* so any residual session warmup from earlier
+    # sections biases against the gate, not for it.
+    base = dict(
+        port=0, window_ms=25.0, max_batch=24, max_queue=4096,
+        response_cache=0,
+    )
+    traced = _measure(profile, ServeSettings(**base, trace=True), "traced")
+    untraced = _measure(
+        profile, ServeSettings(**base, trace=False), "untraced"
+    )
+    ratio = (
+        traced["report"]["throughput_rps"]
+        / untraced["report"]["throughput_rps"]
+    )
+    return {
+        "traced": traced,
+        "untraced": untraced,
+        "throughput_ratio": ratio,
+        "overhead_pct": max(0.0, (1.0 - ratio) * 100.0),
+        "floor": TRACING_RATIO_FLOOR,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--requests", type=int, default=80)
@@ -338,6 +376,7 @@ def main(argv: list[str] | None = None) -> int:
     sharding = run_sharding(
         _derive(profile, requests=args.shard_requests, rate=150.0)
     )
+    tracing = run_tracing_overhead(profile)
     payload = {
         "meta": {
             "python": platform.python_version(),
@@ -353,6 +392,7 @@ def main(argv: list[str] | None = None) -> int:
         **batching,
         "response_cache": response_cache,
         "sharding": sharding,
+        "tracing": tracing,
     }
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
 
@@ -377,11 +417,18 @@ def main(argv: list[str] | None = None) -> int:
             f"{key:10s} {rep['throughput_rps']:7.1f} rps   "
             f"sessions evicted {sharding[key]['server']['sessions_evictions']}"
         )
+    print(
+        f"tracing    {tracing['traced']['report']['throughput_rps']:7.1f} rps"
+        f" traced vs "
+        f"{tracing['untraced']['report']['throughput_rps']:7.1f} rps bare  "
+        f"({tracing['overhead_pct']:.1f}% overhead)"
+    )
 
     gates = [
         ("speedup", payload["speedup"], SPEEDUP_FLOOR),
         ("cache_hit_rate", response_cache["hit_rate"], CACHE_HIT_FLOOR),
         ("shard_scaling", sharding["scaling"], SHARD_SCALING_FLOOR),
+        ("tracing_ratio", tracing["throughput_ratio"], TRACING_RATIO_FLOOR),
     ]
     failed = []
     for name, value, floor in gates:

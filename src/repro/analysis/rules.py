@@ -34,6 +34,12 @@ CFG001    every ``PipelineConfig`` field is either consumed by
           ``IDENTITY_EXCLUDED`` set -- the mechanism that makes
           "this knob does not change results" a reviewed, documented
           decision instead of a silent ``.pop()``.
+OBS001    operational output in ``serve/`` and the experiment runner
+          goes through :mod:`repro.obs.log` (JSON-lines events with a
+          stable taxonomy), never ad-hoc ``print()`` or bare
+          ``sys.stderr.write`` -- unstructured lines are invisible to
+          log tooling and interleave corruptly across the shard /
+          pool processes sharing one stderr.
 ========  ==========================================================
 
 Suppress a *deliberate* violation inline with
@@ -56,6 +62,7 @@ __all__ = [
     "ServeErrorTaxonomy",
     "RegisterAtImportScope",
     "ConfigIdentityCoverage",
+    "StructuredLoggingOnly",
     "default_rules",
 ]
 
@@ -637,6 +644,41 @@ class ConfigIdentityCoverage(PathScopedRule):
         return keys
 
 
+class StructuredLoggingOnly(PathScopedRule):
+    """OBS001: serve/ and the runner log through ``repro.obs.log``."""
+
+    id = "OBS001"
+    title = "unstructured output in an observability-covered tree"
+    hint = (
+        "emit a JSON-lines event instead: repro.obs.get_logger("
+        "component).info(event, **fields); stdout protocol writers "
+        "and CLI-facing reports take a reasoned # repro: allow[OBS001]"
+    )
+    paths = ("serve/", "experiments/runner.py")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            if chain == ("print",):
+                yield ctx.finding(
+                    self,
+                    node,
+                    "print() bypasses the structured event log (no level, "
+                    "no component, no trace id, unsafe interleaving)",
+                )
+            elif chain == ("sys", "stderr", "write") or (
+                chain[-2:] == ("stderr", "write") and len(chain) == 2
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    "bare sys.stderr.write bypasses the structured event "
+                    "log; use repro.obs.get_logger(...)",
+                )
+
+
 def _imported_module_names(tree: ast.Module) -> set[str]:
     """Local names bound to *modules* by imports (facade receivers)."""
     names: set[str] = set()
@@ -680,4 +722,5 @@ def default_rules() -> tuple[Rule, ...]:
         ServeErrorTaxonomy(),
         RegisterAtImportScope(),
         ConfigIdentityCoverage(),
+        StructuredLoggingOnly(),
     )

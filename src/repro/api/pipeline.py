@@ -34,7 +34,7 @@ from __future__ import annotations
 import hashlib
 from dataclasses import asdict, dataclass, field, replace
 from collections.abc import Sequence
-from typing import Any, ClassVar
+from typing import TYPE_CHECKING, Any, ClassVar
 
 import numpy as np
 
@@ -61,6 +61,9 @@ from repro.partitioning.partition import Partition
 from repro.utils.parallel import preferred_mp_context
 from repro.utils.rng import SeedLike, derive_seed, make_rng
 from repro.utils.stopwatch import Stopwatch
+
+if TYPE_CHECKING:
+    from repro.obs.trace import SpanContext, Tracer
 
 
 @dataclass(frozen=True)
@@ -190,6 +193,33 @@ class PipelineResult:
         if not self.metrics["coco_before"]:
             return 0.0
         return 1.0 - self.metrics["coco_after"] / self.metrics["coco_before"]
+
+    def record_spans(self, tracer: "Tracer", parent: "SpanContext") -> None:
+        """Convert the per-stage timings into child spans under ``parent``.
+
+        The Stopwatch already measured every stage; this replays those
+        monotonic durations as a ``pipeline`` span with one
+        ``stage:<slot>`` child each, carrying the run's identity hash
+        and final quality metrics as attributes -- the bridge between
+        a :class:`PipelineResult` and a cross-process trace tree (the
+        serve pool worker and the in-process scheduler path both call
+        it; the experiment runner uses it to persist span trees).
+        """
+        root = tracer.span(
+            "pipeline",
+            parent,
+            graph=self.graph,
+            topology=self.topology,
+            identity_hash=self.identity_hash,
+            cut_after=self.metrics.get("cut_after"),
+            coco_after=self.metrics.get("coco_after"),
+        )
+        for timing in self.stage_timings:
+            child = tracer.span(
+                f"stage:{timing.stage}", root.context, impl=timing.name
+            )
+            child.finish(duration=timing.seconds)
+        root.finish(duration=self.elapsed_seconds)
 
 
 def _off(name: str) -> bool:

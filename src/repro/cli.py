@@ -198,6 +198,9 @@ def cmd_serve(args) -> int:
             response_cache=args.response_cache,
             response_cache_bytes=args.response_cache_mb * 1024 * 1024,
             shards=args.shards,
+            trace=not args.no_trace,
+            trace_buffer=args.trace_buffer,
+            profile=args.profile,
         )
     if settings.shards > 0:
         if settings.stdio:
@@ -227,6 +230,7 @@ def cmd_loadgen(args) -> int:
         allow_degraded=args.allow_degraded,
         repeat_fraction=args.repeat_fraction,
         enhance_fraction=args.enhance_fraction,
+        trace_sample=args.trace_sample,
     )
     report = generate_load(profile, args.url)
     print(report.render(), file=sys.stderr)
@@ -366,6 +370,15 @@ def build_parser() -> argparse.ArgumentParser:
                    "this many backend worker processes (0 = single "
                    "process); topologies pin to shards, keeping each "
                    "shard's session and response caches hot")
+    q.add_argument("--no-trace", action="store_true",
+                   help="disable end-to-end tracing (deterministic span "
+                   "trees in /debug/traces; on by default, <2%% cost)")
+    q.add_argument("--trace-buffer", type=int, default=256,
+                   help="traces retained per process in the /debug/traces "
+                   "ring buffer")
+    q.add_argument("--profile", action="store_true",
+                   help="attach cProfile top-frame hotspots to each "
+                   "compute span (diagnostic; adds overhead)")
     add_backend_flag(q)
     q.set_defaults(fn=cmd_serve)
 
@@ -397,6 +410,10 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--enhance-fraction", type=float, default=0.0,
                    help="share of requests converted to /enhance with a "
                    "deterministic supplied mapping")
+    q.add_argument("--trace-sample", type=float, default=1.0,
+                   help="deterministic fraction of requests retained in "
+                   "server-side trace buffers (the rest send a "
+                   "{'trace': {'sample': false}} opt-out hint)")
     q.add_argument("--out", default=None, help="write the JSON report here")
     q.set_defaults(fn=cmd_loadgen)
 

@@ -58,6 +58,8 @@ from repro.experiments.metrics import (
 )
 from repro.experiments.store import STORE_SCHEMA, ArtifactStore, cell_key
 from repro.experiments.topologies import PAPER_TOPOLOGIES, topology_names
+from repro.obs import get_logger
+from repro.obs.trace import TraceBuffer, Tracer
 from repro.partitioning.kway import partition_kway
 from repro.partitioning.partition import Partition
 from repro.utils.parallel import preferred_mp_context
@@ -231,10 +233,52 @@ def _run_task(task: _Task) -> list:
         identity = cell_identity(config, task.instance, task.rep, topo_name, case)
         data, timing = run.to_payload()
         data.update(instance_n=ga.n, instance_m=ga.m, pe_count=gp.n)
+        timing["spans"] = _cell_spans(identity, task, topo_name, case, timing)
         record = {"schema": STORE_SCHEMA, "identity": identity, "data": data,
                   "timing": timing}
         out.append((cell_key(identity), record))
     return out
+
+
+def _cell_spans(
+    identity: dict, task: _Task, topo_name: str, case: str, timing: dict
+) -> list[dict]:
+    """The cell's stage timings as a span tree (flat dicts, JSON-ready).
+
+    The trace id derives from the cell identity -- the same identity
+    that keys the artifact record -- so replayed sweeps produce the
+    same tree structure and traces are diffable across runs.  Durations
+    come from the already-measured monotonic stopwatches; the spans
+    live in the record's ``timing`` section, excluded from identity
+    like every other wall-time measurement.
+    """
+    tracer = Tracer(
+        process="runner",
+        buffer=TraceBuffer(max_traces=1, max_spans_per_trace=16),
+    )
+    ctx = tracer.start_trace(identity)
+    root = tracer.span(
+        "cell",
+        ctx,
+        instance=task.instance,
+        rep=task.rep,
+        topology=topo_name,
+        case=case,
+    )
+    for stage, key in (
+        ("partition", "partition_seconds"),
+        ("initial_mapping", "mapping_seconds"),
+        ("enhance", "timer_seconds"),
+        ("baseline", "baseline_seconds"),
+    ):
+        if key not in timing:
+            continue
+        child = tracer.span(f"stage:{stage}", root.context)
+        child.finish(duration=float(timing[key]))
+    root.finish(
+        duration=sum(float(v) for v in timing.values() if isinstance(v, (int, float)))
+    )
+    return tracer.buffer.get(ctx.trace_id)
 
 
 def _validate_config(config: ExperimentConfig) -> None:
@@ -495,11 +539,16 @@ def _run_experiment(
                         (inst_name, data["pe_count"]), []
                     ).append(timing["partition_seconds"])
                 if config.verbose:
-                    origin = "cache" if ident in cached else "run"
-                    print(
-                        f"[{inst_name} rep{rep} {topo_name} {case} {origin}] "
-                        f"qCo={run.coco_quotient:.3f} qCut={run.cut_quotient:.3f} "
-                        f"qT={run.time_quotient:.2f}"
+                    get_logger("experiments.runner").info(
+                        "cell_finished",
+                        instance=inst_name,
+                        rep=rep,
+                        topology=topo_name,
+                        case=case,
+                        origin="cache" if ident in cached else "run",
+                        q_coco=round(run.coco_quotient, 3),
+                        q_cut=round(run.cut_quotient, 3),
+                        q_time=round(run.time_quotient, 2),
                     )
     return result
 

@@ -1,0 +1,56 @@
+"""Opt-in cProfile hook: top-K hotspot frames attached to a span.
+
+Profiling a request costs real time (cProfile instruments every call),
+so it is gated behind ``repro serve --profile`` and applied around the
+scheduler's compute step only.  The harvest is a compact, JSON-ready
+list of the top-K frames by cumulative time -- enough to answer "where
+did this slow exemplar spend its time" straight from
+``/debug/traces`` without shipping pstats blobs around.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+
+
+def profile_call(fn, *args, top: int = 10, **kwargs):
+    """Run ``fn(*args, **kwargs)`` under cProfile.
+
+    Returns ``(result, frames)`` where ``frames`` is a list of up to
+    ``top`` dicts ``{"frame": "file:line(function)", "calls": n,
+    "tottime": s, "cumtime": s}`` sorted by cumulative time.  The
+    profiled call's exceptions propagate unchanged.
+    """
+    profiler = cProfile.Profile()
+    try:
+        result = profiler.runcall(fn, *args, **kwargs)
+    finally:
+        profiler.disable()
+    stats = pstats.Stats(profiler)
+    rows = sorted(
+        stats.stats.items(),  # type: ignore[attr-defined]
+        key=lambda kv: kv[1][3],  # cumulative time
+        reverse=True,
+    )
+    frames = []
+    for (filename, lineno, func), (
+        _cc,
+        ncalls,
+        tottime,
+        cumtime,
+        _callers,
+    ) in rows:
+        if filename.startswith("<") and func.startswith("<"):
+            continue  # synthetic frames (profiler bookkeeping, exec shells)
+        frames.append(
+            {
+                "frame": f"{filename}:{lineno}({func})",
+                "calls": int(ncalls),
+                "tottime": round(float(tottime), 6),
+                "cumtime": round(float(cumtime), 6),
+            }
+        )
+        if len(frames) >= max(1, int(top)):
+            break
+    return result, frames

@@ -59,6 +59,10 @@ class LoadProfile:
     #: fraction of requests converted to ``/enhance`` with a supplied
     #: deterministic mapping (exercises the second wire op under load)
     enhance_fraction: float = 0.0
+    #: fraction of requests retained in server-side trace buffers; the
+    #: rest carry a ``{"trace": {"sample": false}}`` opt-out hint, so a
+    #: sustained load run does not churn /debug/traces out of the ring
+    trace_sample: float = 1.0
 
     def __post_init__(self) -> None:
         if self.requests < 1:
@@ -71,6 +75,8 @@ class LoadProfile:
             raise ConfigurationError("repeat_fraction must be in [0, 1]")
         if not 0.0 <= self.enhance_fraction <= 1.0:
             raise ConfigurationError("enhance_fraction must be in [0, 1]")
+        if not 0.0 <= self.trace_sample <= 1.0:
+            raise ConfigurationError("trace_sample must be in [0, 1]")
         if self.seed_pool < 1 or self.hot_keys < 1:
             raise ConfigurationError("seed_pool and hot_keys must be >= 1")
 
@@ -155,6 +161,10 @@ def plan_requests(profile: LoadProfile) -> list[tuple[float, dict]]:
         derive_rng(profile.seed, "loadgen", "enhance")
         if profile.enhance_fraction > 0 else None
     )
+    trace_rng = (
+        derive_rng(profile.seed, "loadgen", "trace")
+        if profile.trace_sample < 1.0 else None
+    )
     offsets = arrivals_rng.exponential(
         1.0 / profile.rate, size=profile.requests
     ).cumsum()
@@ -176,6 +186,11 @@ def plan_requests(profile: LoadProfile) -> list[tuple[float, dict]]:
             and enhance_rng.random() < profile.enhance_fraction
         ):
             body = _as_enhance(body, enhance_cache)
+        if (
+            trace_rng is not None
+            and trace_rng.random() >= profile.trace_sample
+        ):
+            body = {**body, "trace": {"sample": False}}
         out.append((float(t), body))
     return out
 
@@ -251,6 +266,9 @@ class LoadReport:
     throughput_rps: float = 0.0
     offered_rps: float = 0.0
     latency: dict = field(default_factory=dict)
+    #: per-endpoint and cached/degraded latency split (the per-run JSON
+    #: summary: every leaf is count/mean/max plus p50/p95/p99)
+    latency_summary: dict = field(default_factory=dict)
     batch: dict = field(default_factory=dict)
 
     def to_json(self) -> dict:
@@ -274,20 +292,42 @@ class LoadReport:
         )
 
 
+def _quantile_stats(latencies: list[float]) -> dict:
+    """count/mean/max/p50/p95/p99 of one latency population (seconds)."""
+    if not latencies:
+        return {"count": 0}
+    ordered = sorted(latencies)
+    n = len(ordered)
+    return {
+        "count": n,
+        "mean": sum(ordered) / n,
+        "max": ordered[-1],
+        **{name: ordered[min(n - 1, int(q * n))] for q, name in _QUANTILES},
+    }
+
+
 def _summarize(
     profile: LoadProfile,
-    samples: list[tuple[float, int, dict | str]],
+    samples: list[tuple[float, int, dict | str, str]],
     duration: float,
 ) -> LoadReport:
     report = LoadReport(profile=profile, requests=len(samples))
-    latencies = sorted(lat for lat, _status, _body in samples)
+    latencies = sorted(lat for lat, _status, _body, _op in samples)
     sizes: list[int] = []
     coalesced = 0
-    for _lat, status, body in samples:
+    by_endpoint: dict[str, list[float]] = {}
+    split: dict[str, list[float]] = {
+        "cached": [], "uncached": [], "degraded": []
+    }
+    for lat, status, body, op in samples:
+        by_endpoint.setdefault(op, []).append(lat)
         if status == 200 and isinstance(body, dict) and body.get("ok"):
             report.ok += 1
             report.degraded += bool(body.get("degraded"))
             report.cached += bool(body.get("cached"))
+            split["cached" if body.get("cached") else "uncached"].append(lat)
+            if body.get("degraded"):
+                split["degraded"].append(lat)
             info = body.get("batch", {})
             sizes.append(int(info.get("size", 1)))
             coalesced += bool(info.get("coalesced"))
@@ -311,6 +351,14 @@ def _summarize(
                 for q, name in _QUANTILES
             },
         }
+    report.latency_summary = {
+        "overall": _quantile_stats(latencies),
+        "by_endpoint": {
+            op: _quantile_stats(lats)
+            for op, lats in sorted(by_endpoint.items())
+        },
+        **{name: _quantile_stats(lats) for name, lats in split.items()},
+    }
     if sizes:
         report.batch = {
             "mean_size": sum(sizes) / len(sizes),
@@ -351,7 +399,7 @@ async def run_load(
             status, reply = await http_request_json(host, port, "POST", f"/{op}", body)
         else:
             status, reply, _headers = await service.handle(op, body)
-        return time.perf_counter() - sent, status, reply
+        return time.perf_counter() - sent, status, reply, op
 
     samples = await asyncio.gather(
         *(fire(offset, body) for offset, body in schedule)

@@ -56,21 +56,33 @@ class Counter:
 
 
 class Gauge:
-    """A value that goes up and down (queue depth, uptime)."""
+    """A value that goes up and down, optionally split by one label.
+
+    Labeled children track the last value set per label (e.g. the
+    latest cut-edge count per topology), mirroring :class:`Counter`'s
+    single-label children so the renderers and the shard front end's
+    numeric merge treat both shapes uniformly.
+    """
 
     def __init__(self, name: str, help: str = "") -> None:
         self.name = name
         self.help = help
         self.value = 0.0
+        self._children: dict[str, float] = {}
 
-    def set(self, value: float) -> None:
+    def set(self, value: float, label: str | None = None) -> None:
         self.value = float(value)
+        if label is not None:
+            self._children[label] = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
         self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
         self.value -= amount
+
+    def labels(self) -> dict[str, float]:
+        return dict(self._children)
 
 
 class Histogram:
@@ -125,11 +137,22 @@ class Histogram:
 
         Linear interpolation inside the winning bucket, clamped to the
         exact observed min/max so tails never report impossible values.
+        The boundaries are exact, not interpolated: ``q=0`` is the
+        observed min, ``q=1`` the observed max, a single observation is
+        itself at every ``q``, and an empty histogram reports ``0.0``.
         """
         if not 0.0 <= q <= 1.0:
             raise ConfigurationError(f"quantile {q} outside [0, 1]")
         if self.count == 0:
             return 0.0
+        if q == 0.0:
+            return self.min
+        if q == 1.0 or self.count == 1:
+            # q=1 is the max by definition; with one observation every
+            # quantile *is* that observation (min == max), so skip the
+            # in-bucket interpolation that would otherwise report a
+            # fraction of the bucket width as signal.
+            return self.max if q == 1.0 else self.min
         rank = q * self.count
         seen = 0
         for i, c in enumerate(self.bucket_counts):
@@ -201,14 +224,15 @@ class MetricsRegistry:
         for name, metric in sorted(self._metrics.items()):
             if isinstance(metric, Histogram):
                 out[name] = metric.snapshot()
-            elif isinstance(metric, Counter):
+            else:
+                # Counters and gauges share the labeled shape: a bare
+                # number when unlabeled, {"total": ..., label: ...}
+                # when split -- one schema for the shard merge to sum.
                 out[name] = (
                     {"total": metric.value, **metric.labels()}
                     if metric.labels()
                     else metric.value
                 )
-            else:
-                out[name] = metric.value
         if extra:
             out.update(extra)
         return out
@@ -240,7 +264,11 @@ class MetricsRegistry:
                     lines.append(f"{full} {metric.value:g}")
             elif isinstance(metric, Gauge):
                 full = emit(name, "gauge", metric.help)
-                lines.append(f"{full} {metric.value:g}")
+                if metric.labels():
+                    for label, value in sorted(metric.labels().items()):
+                        lines.append(f'{full}{{label="{label}"}} {value:g}')
+                else:
+                    lines.append(f"{full} {metric.value:g}")
             else:
                 full = emit(name, "histogram", metric.help)
                 cumulative = 0

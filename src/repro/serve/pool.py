@@ -46,6 +46,7 @@ from repro.errors import (
     PoisonRequestError,
     TransientError,
 )
+from repro.obs import get_logger, set_process_fields
 from repro.serve.faults import FaultClock, FaultPlan, on_item, on_task
 from repro.utils.parallel import preferred_mp_context
 
@@ -68,6 +69,7 @@ def _worker_main(conn, runner, setup, generation: int) -> None:
     worker so an injected kill takes down a real process and exercises
     the supervisor's actual recovery path.
     """
+    set_process_fields(worker_generation=generation)
     plan = FaultPlan.from_env()
     clock = FaultClock()
     payloads: dict[str, object] = {}
@@ -187,6 +189,7 @@ class SupervisedPool:
         self._crashes = 0
         self._poisoned = 0
         self._tasks_dispatched = 0
+        self._log = get_logger("serve.pool").bind(pool=name)
         self._wake_r, self._wake_w = os.pipe()
         self._workers = [self._spawn(0) for _ in range(self._size)]
         self._thread = threading.Thread(
@@ -273,6 +276,9 @@ class SupervisedPool:
         )
         proc.start()
         child_conn.close()
+        self._log.debug(
+            "worker_spawned", worker=proc.name, worker_generation=generation
+        )
         return _Worker(proc, parent_conn, generation)
 
     def _supervise(self) -> None:
@@ -388,6 +394,13 @@ class SupervisedPool:
             worker.conn.close()
         except OSError:
             pass
+        self._log.warn(
+            "worker_crashed",
+            worker=worker.proc.name,
+            worker_generation=worker.generation,
+            exitcode=worker.proc.exitcode,
+            task_lost=task is not None,
+        )
         index = self._workers.index(worker)
         self._workers[index] = self._spawn(worker.generation + 1)
         with self._lock:

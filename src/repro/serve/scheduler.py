@@ -81,6 +81,8 @@ from repro.experiments.instances import generate_instance, instance_names
 from repro.experiments.store import canonical_json, cell_key
 from repro.graphs.builder import from_edges
 from repro.graphs.graph import Graph
+from repro.obs import get_tracer, profile_call
+from repro.obs.trace import SpanContext, TraceBuffer, Tracer
 from repro.serve.cache import (
     DEFAULT_RESPONSE_CACHE_BYTES,
     ResponseCache,
@@ -215,6 +217,10 @@ class MapRequest:
     #: opt-in to degraded answers (response cache / enhance-free) when
     #: the group's breaker is open or the deadline cannot fit a full run
     allow_degraded: bool = False
+    #: trace context stamped by the transport layer; pure observability,
+    #: deliberately absent from ``group_key``/``work_key`` -- tracing a
+    #: request must never change how it batches, caches, or computes
+    trace: SpanContext | None = None
 
     def group_key(self) -> str:
         """Batching group: same topology + same config identity-hash."""
@@ -252,6 +258,8 @@ class ServedResult:
     #: answered from the response cache: full fidelity (byte-identical
     #: to a fresh compute by the determinism contract), zero compute
     cached: bool = False
+    #: trace id linking this response to its span tree in /debug/traces
+    trace_id: str = ""
 
 
 @dataclass
@@ -261,6 +269,8 @@ class _Job:
     enqueued: float
     deadline: float | None
     degraded_mode: str | None = None
+    #: open ``queue_wait`` span, finished when the batch dispatches
+    span: object = None
 
 
 class _Group:
@@ -282,11 +292,32 @@ def _pool_setup(payload) -> Pipeline:
     return _rebuild_pipeline(*payload)
 
 
-def _pool_run(pipe: Pipeline, item) -> PipelineResult:
-    """Run one work item -- the exact call a direct library user makes."""
-    _wkey, wire, seed, mu = item
+def _pool_run(pipe: Pipeline, item) -> tuple[PipelineResult, list]:
+    """Run one work item -- the exact call a direct library user makes.
+
+    Returns ``(result, finished spans)``: when the item carries a trace
+    context, the worker opens a ``pool_execute`` span under it, converts
+    the result's stage timings into child spans, and ships the finished
+    span dicts back over the result pipe so the scheduler's process can
+    merge them into its trace buffer (pool workers have no HTTP
+    endpoint of their own).
+    """
+    _wkey, wire, seed, mu, trace_wire = item
     ga = GraphSpec.from_wire(wire).build()
-    return pipe.run(ga, mu=mu, seed=seed)
+    ctx = SpanContext.from_wire(trace_wire) if trace_wire else None
+    if ctx is None:
+        return pipe.run(ga, mu=mu, seed=seed), []
+    # A throwaway single-trace tracer: spans travel back on the result
+    # channel, so nothing needs to persist worker-side.
+    tracer = Tracer(
+        process="pool",
+        buffer=TraceBuffer(max_traces=4, max_spans_per_trace=256),
+    )
+    with tracer.span("pool_execute", ctx) as span:
+        result = pipe.run(ga, mu=mu, seed=seed)
+        result.record_spans(tracer, span.context)
+    spans = [s for _tid, trace in tracer.buffer.traces() for s in trace]
+    return result, spans
 
 
 # ----------------------------------------------------------------------
@@ -351,6 +382,9 @@ class BatchScheduler:
         response_cache_size: int = 128,
         response_cache_bytes: int = DEFAULT_RESPONSE_CACHE_BYTES,
         degrade_margin: float = 1.2,
+        tracer: Tracer | None = None,
+        profile: bool = False,
+        profile_top: int = 10,
         clock=time.monotonic,
     ) -> None:
         if max_batch < 1 or max_queue < 1 or max_pipelines < 1:
@@ -377,6 +411,9 @@ class BatchScheduler:
             max_entries=response_cache_size, max_bytes=response_cache_bytes
         )
         self.degrade_margin = float(degrade_margin)
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self.profile = bool(profile)
+        self.profile_top = int(profile_top)
         self.clock = clock
         self._fault_clock = FaultClock()
         self._groups: dict[str, _Group] = {}
@@ -476,6 +513,15 @@ class BatchScheduler:
         self._m_breaker_transitions = m.gauge(
             "breaker_transitions", "circuit state changes across all groups"
         )
+        # Per-scenario quality: the serve-time window onto mapping
+        # quality drift (ROADMAP item 5) -- last observed value per
+        # topology, so a regression shows up in /metrics immediately.
+        self._m_quality_cut = m.gauge(
+            "quality_cut_edges", "latest mapped edge cut, by topology"
+        )
+        self._m_quality_coco = m.gauge(
+            "quality_objective", "latest Coco objective value, by topology"
+        )
 
     # -- public API ----------------------------------------------------
     @property
@@ -530,14 +576,18 @@ class BatchScheduler:
         """Admit, batch, and await one request (may raise the 4xx errors)."""
         if self._closed:
             raise ReproError("scheduler is closed")
+        ctx = request.trace
+        trace_id = ctx.trace_id if ctx is not None else ""
         # Hot path: a remembered identical run answers before admission
         # control, batching or breaker checks -- sound because the
         # determinism contract makes the cached result byte-identical to
         # the recompute it replaces.
         if self.response_cache.enabled:
-            hit = self.response_cache.get(
-                (request.group_key(),) + request.work_key()
-            )
+            with self.tracer.span("cache_lookup", ctx) as cache_span:
+                hit = self.response_cache.get(
+                    (request.group_key(),) + request.work_key()
+                )
+                cache_span.set(hit=hit is not None)
             if hit is not None:
                 self._m_requests.inc()
                 self._m_cache_hits.inc()
@@ -549,6 +599,7 @@ class BatchScheduler:
                     queue_seconds=0.0,
                     compute_seconds=0.0,
                     cached=True,
+                    trace_id=trace_id,
                 )
             self._m_cache_misses.inc()
         if self._pending >= self.max_queue:
@@ -574,10 +625,24 @@ class BatchScheduler:
             ):
                 degrade_reason = "deadline"
         if degrade_reason is not None:
-            served = self._degrade(request, gkey, breaker, degrade_reason)
+            # The ladder's verdict is observable even when it rejects:
+            # the span finishes before the shed error propagates.
+            degrade_span = self.tracer.span(
+                "degrade_decision", ctx, reason=degrade_reason
+            )
+            try:
+                served = self._degrade(request, gkey, breaker, degrade_reason)
+            except BaseException:
+                degrade_span.set(outcome="shed")
+                degrade_span.finish(status="error")
+                raise
             if isinstance(served, ServedResult):
+                degrade_span.set(outcome="served")
+                degrade_span.finish()
                 return served
             request, gkey, pipe, degraded_mode = served
+            degrade_span.set(outcome=degraded_mode or "full")
+            degrade_span.finish()
         loop = asyncio.get_running_loop()
         now = self.clock()
         job = _Job(
@@ -586,6 +651,9 @@ class BatchScheduler:
             enqueued=now,
             deadline=(now + request.deadline_s) if request.deadline_s else None,
             degraded_mode=degraded_mode,
+            span=self.tracer.span(
+                "queue_wait", ctx, window_s=self.window_s
+            ),
         )
         self._pending += 1
         self._m_requests.inc()
@@ -595,9 +663,11 @@ class BatchScheduler:
             group = self._groups[gkey] = _Group(pipe)
         group.jobs.append(job)
         if len(group.jobs) >= self.max_batch:
-            self._flush(gkey)
+            self._flush(gkey, "max_batch")
         elif group.timer is None:
-            group.timer = loop.call_later(self.window_s, self._flush, gkey)
+            group.timer = loop.call_later(
+                self.window_s, self._flush, gkey, "window"
+            )
         return await job.future
 
     async def drain(self) -> None:
@@ -666,6 +736,21 @@ class BatchScheduler:
         return request, gkey, self.pipeline_for(request, gkey), None
 
     # -- internals -----------------------------------------------------
+    def _observe_quality(self, topology: str, result) -> None:
+        """Serve-time quality + per-stage latency for one fresh result."""
+        metrics = getattr(result, "metrics", None) or {}
+        if "cut_after" in metrics:
+            self._m_quality_cut.set(float(metrics["cut_after"]), label=topology)
+        if "coco_after" in metrics:
+            self._m_quality_coco.set(
+                float(metrics["coco_after"]), label=topology
+            )
+        for timing in getattr(result, "stage_timings", ()):
+            self.metrics.histogram(
+                f"stage_seconds_{timing.stage}",
+                f"wall seconds spent in the {timing.stage} stage",
+            ).observe(timing.seconds)
+
     def _refresh_breaker_metrics(self) -> None:
         self._m_breakers_open.set(
             sum(1 for b in self._breakers.values()
@@ -686,7 +771,7 @@ class BatchScheduler:
             stats["evictions"] - self._m_cache_evictions.value
         )
 
-    def _flush(self, gkey: str) -> None:
+    def _flush(self, gkey: str, reason: str = "window") -> None:
         """Move up to ``max_batch`` queued jobs of a group into a dispatch."""
         group = self._groups.get(gkey)
         if group is None:
@@ -700,14 +785,14 @@ class BatchScheduler:
         batch, group.jobs = group.jobs[: self.max_batch], group.jobs[self.max_batch:]
         if group.jobs:  # overflow keeps flowing without a fresh window
             group.timer = asyncio.get_running_loop().call_later(
-                0, self._flush, gkey
+                0, self._flush, gkey, "overflow"
             )
         else:
             # Drained groups are dropped so an idle group's pipeline
             # reference lives only in the (bounded) pipeline LRU.
             del self._groups[gkey]
         task = asyncio.get_running_loop().create_task(
-            self._dispatch(gkey, group.pipeline, batch)
+            self._dispatch(gkey, group.pipeline, batch, reason)
         )
         self._dispatch_tasks.add(task)
         task.add_done_callback(self._dispatch_tasks.discard)
@@ -722,13 +807,22 @@ class BatchScheduler:
         else:
             job.future.set_result(outcome)
 
-    def _compute_once(self, gkey: str, pipe: Pipeline, reqs: list[MapRequest]):
+    def _compute_once(
+        self,
+        gkey: str,
+        pipe: Pipeline,
+        reqs: list[MapRequest],
+        ctxs: list[SpanContext],
+    ):
         """One compute attempt; returns a result-or-exception per request.
 
         Runs on an executor thread.  Pool mode ships ``(work-key, graph
-        wire spec, seed, mu)`` items plus the pipeline's pickled payload
-        and blocks on the per-item futures; worker death surfaces here
-        only after the supervisor's requeue/bisection gave up.
+        wire spec, seed, mu, trace wire)`` items plus the pipeline's
+        pickled payload and blocks on the per-item futures; worker death
+        surfaces here only after the supervisor's requeue/bisection gave
+        up.  ``ctxs`` are the per-item compute-span contexts: pool
+        workers parent their spans under them, in-process paths convert
+        the result's stage timings directly.
         """
         plan = self.faults
         if self._pool is not None:
@@ -740,8 +834,11 @@ class BatchScheduler:
                     req.seed,
                     None if req.mu is None
                     else np.ascontiguousarray(req.mu, dtype=np.int64),
+                    ctx.to_wire()
+                    if ctx.sampled and ctx.trace_id
+                    else None,
                 )
-                for req in reqs
+                for req, ctx in zip(reqs, ctxs)
             ]
             # All requests in a group share one topology (it is part of
             # the group key), so the whole batch pins to that topology's
@@ -757,7 +854,10 @@ class BatchScheduler:
             outcomes = []
             for future in futures:
                 try:
-                    outcomes.append(future.result())
+                    value, spans = future.result()
+                    if spans:
+                        self.tracer.buffer.ingest(spans)
+                    outcomes.append(value)
                 except BaseException as exc:  # noqa: BLE001 - refiled per item
                     outcomes.append(exc)
             return outcomes
@@ -768,23 +868,28 @@ class BatchScheduler:
             # in-process -- that would take down the service itself.
             on_task(plan, self._fault_clock, allow_kill=False)
             outcomes = []
-            for req in reqs:
+            for req, ctx in zip(reqs, ctxs):
                 try:
                     on_item(
                         plan, req.work_key(), self._fault_clock, allow_kill=False
                     )
                     ga = req.graph.build()
-                    outcomes.append(pipe.run(ga, mu=req.mu, seed=req.seed))
+                    result = pipe.run(ga, mu=req.mu, seed=req.seed)
+                    result.record_spans(self.tracer, ctx)
+                    outcomes.append(result)
                 except Exception as exc:  # noqa: BLE001 - refiled per item
                     outcomes.append(exc)
             return outcomes
         graphs = [req.graph.build() for req in reqs]
         try:
-            return pipe.run_batch(
+            results = pipe.run_batch(
                 graphs, seeds=[req.seed for req in reqs], jobs=self.jobs
             )
         except Exception as exc:  # noqa: BLE001 - refiled per item
             return [exc for _ in reqs]
+        for result, ctx in zip(results, ctxs):
+            result.record_spans(self.tracer, ctx)
+        return results
 
     def _compute_with_retries(
         self,
@@ -793,6 +898,7 @@ class BatchScheduler:
         unique: list[MapRequest],
         order: list[tuple],
         members: dict[tuple, list[_Job]],
+        spans: list,
     ) -> list:
         """Compute all unique items, retrying transients with backoff.
 
@@ -800,11 +906,26 @@ class BatchScheduler:
         dispatch, not the event loop.  Before each backoff, items whose
         waiters would *all* miss their deadlines during the sleep are
         failed immediately instead of wasting the recompute.
+
+        ``spans`` are the per-item ``compute`` spans (finished by the
+        dispatcher); retry backoffs open child spans under them, and
+        ``--profile`` attaches the batch's top-K hotspot frames.
         """
+        ctxs = [span.context for span in spans]
         outcomes: list = [None] * len(unique)
         todo = list(range(len(unique)))
         for attempt in range(1, self.retry.max_attempts + 1):
-            results = self._compute_once(gkey, pipe, [unique[i] for i in todo])
+            sub_reqs = [unique[i] for i in todo]
+            sub_ctxs = [ctxs[i] for i in todo]
+            if self.profile:
+                results, frames = profile_call(
+                    self._compute_once, gkey, pipe, sub_reqs, sub_ctxs,
+                    top=self.profile_top,
+                )
+                for i in todo:
+                    spans[i].set(profile=frames)
+            else:
+                results = self._compute_once(gkey, pipe, sub_reqs, sub_ctxs)
             for i, out in zip(todo, results):
                 outcomes[i] = out
             if attempt == self.retry.max_attempts:
@@ -837,16 +958,27 @@ class BatchScheduler:
             if not todo:
                 break
             self._m_retries.inc(len(todo))
+            backoff_spans = [
+                self.tracer.span(
+                    "retry_backoff", ctxs[i], attempt=attempt, delay_s=delay
+                )
+                for i in todo
+            ]
             time.sleep(delay)
+            for span in backoff_spans:
+                span.finish()
         return outcomes
 
     async def _dispatch(
-        self, gkey: str, pipe: Pipeline, batch: list[_Job]
+        self, gkey: str, pipe: Pipeline, batch: list[_Job], reason: str
     ) -> None:
         now = self.clock()
         live: list[_Job] = []
         for job in batch:
             if job.deadline is not None and now > job.deadline:
+                if job.span is not None:
+                    job.span.set(outcome="deadline_queued")
+                    job.span.finish(status="error")
                 self._m_rejected.inc(label="deadline_queued")
                 self._finish(
                     job,
@@ -855,6 +987,9 @@ class BatchScheduler:
                     ),
                 )
             else:
+                if job.span is not None:
+                    job.span.set(flush_reason=reason)
+                    job.span.finish()
                 live.append(job)
         if not live:
             return
@@ -868,14 +1003,32 @@ class BatchScheduler:
                 order.append(key)
             members[key].append(job)
         unique = [members[key][0].request for key in order]
+        # One compute span per unique item, parented under the *primary*
+        # waiter's trace: a coalesced follower's tree records that it
+        # coalesced (ServedResult.coalesced), not a duplicate subtree.
+        compute_spans = [
+            self.tracer.span(
+                "compute",
+                members[key][0].request.trace,
+                batch_size=len(live),
+                batch_unique=len(unique),
+                flush_reason=reason,
+                pooled=self._pool is not None,
+            )
+            for key in order
+        ]
         loop = asyncio.get_running_loop()
         t0 = self.clock()
         outcomes = await loop.run_in_executor(
             self._executor,
             self._compute_with_retries,
-            gkey, pipe, unique, order, members,
+            gkey, pipe, unique, order, members, compute_spans,
         )
         compute_s = self.clock() - t0
+        for span, out in zip(compute_spans, outcomes):
+            span.finish(
+                status="error" if isinstance(out, BaseException) else "ok"
+            )
         done = self.clock()
         self._m_batches.inc()
         self._m_batch_size.observe(len(live))
@@ -899,6 +1052,7 @@ class BatchScheduler:
             else:
                 breaker.record_success()
                 self._remember(gkey, unique[i], out)
+                self._observe_quality(unique[i].topology, out)
             for j, job in enumerate(members[key]):
                 self._m_queue_s.observe(t0 - job.enqueued)
                 if isinstance(out, BaseException):
@@ -932,6 +1086,11 @@ class BatchScheduler:
                             compute_seconds=compute_s,
                             degraded=job.degraded_mode is not None,
                             degraded_mode=job.degraded_mode,
+                            trace_id=(
+                                job.request.trace.trace_id
+                                if job.request.trace is not None
+                                else ""
+                            ),
                         ),
                     )
         if self._pool is not None:

@@ -40,6 +40,9 @@ from urllib.parse import parse_qs, urlsplit
 
 import numpy as np
 
+from repro.obs import configure_tracer, get_logger
+from repro.obs.trace import WIRE_KEY, SpanContext
+
 from repro.api.pipeline import PipelineConfig
 from repro.api.registry import REGISTRY, TOPOLOGY, VERIFY
 from repro.core.backend import get_backend, set_default_backend
@@ -183,7 +186,7 @@ def parse_request(
         raise ReproError(f"request body must be a JSON object, got {payload!r}")
     known = {
         "topology", "graph", "config", "seed", "mu", "deadline_s",
-        "allow_degraded", "op", "id",
+        "allow_degraded", "op", "id", "trace",
     }
     unknown = sorted(set(payload) - known)
     if unknown:
@@ -236,11 +239,13 @@ class MappingService:
     ) -> None:
         self.scheduler = scheduler
         self.metrics = scheduler.metrics
+        self.tracer = scheduler.tracer
         self.max_graph_n = max_graph_n
         self.admission_hook = register_admission_hook(max_graph_n)
         self._m_responses = self.metrics.counter(
             "responses_total", "responses sent, by status code"
         )
+        self._log = get_logger("serve.service")
 
     async def handle(self, op: str, payload: dict) -> tuple[int, dict | str, dict]:
         """Dispatch one operation -> ``(status, body, extra_headers)``."""
@@ -254,16 +259,26 @@ class MappingService:
                     return 200, self.metrics.render_json(extra=extra), {}
                 return 200, self.metrics.render_prometheus(extra=extra), {}
             if op in ("map", "enhance"):
-                request = parse_request(
-                    payload,
-                    require_mu=(op == "enhance"),
-                    max_graph_n=self.max_graph_n,
-                    admission_hook=self.admission_hook,
-                )
-                served = await self.scheduler.submit(request)
+                with self._open_request_span(op, payload) as span:
+                    request = parse_request(
+                        payload,
+                        require_mu=(op == "enhance"),
+                        max_graph_n=self.max_graph_n,
+                        admission_hook=self.admission_hook,
+                    )
+                    request.trace = span.context
+                    served = await self.scheduler.submit(request)
+                    span.set(cached=served.cached, degraded=served.degraded)
                 return 200, result_body(served), {}
             if op == "batch":
                 return await self._handle_batch(payload)
+            if op == "traces":
+                q = payload or {}
+                snapshot = self.tracer.debug_snapshot(
+                    recent=int(q.get("recent", 20)),
+                    slowest=int(q.get("slowest", 5)),
+                )
+                return 200, snapshot, {}
             return 404, {"ok": False, "error": "not_found",
                          "message": f"unknown operation {op!r}"}, {}
         except QueueFullError as exc:
@@ -293,9 +308,39 @@ class MappingService:
             return 400, {"ok": False, "error": "bad_request",
                          "message": str(exc)}, {}
         except Exception as exc:  # pragma: no cover - defensive
-            traceback.print_exc(file=sys.stderr)
+            self._log.error(
+                "unhandled_exception",
+                op=op,
+                error=type(exc).__name__,
+                message=str(exc),
+                traceback=traceback.format_exc(),
+            )
             return 500, {"ok": False, "error": "internal",
                          "message": f"{type(exc).__name__}: {exc}"}, {}
+
+    def _open_request_span(self, op: str, payload: dict):
+        """The server-side root span for one map/enhance request.
+
+        A front-end-stamped context in ``payload["trace"]`` parents this
+        span under the frontend's request span (one cross-process tree);
+        otherwise the trace id derives from the payload's canonical JSON
+        -- the request's run identity, so replays share a trace id.  A
+        client hint ``{"trace": {"sample": false}}`` opts the request
+        out of trace retention (the loadgen ``--trace-sample`` knob).
+        """
+        raw = payload.get(WIRE_KEY) if isinstance(payload, dict) else None
+        ctx = SpanContext.from_wire(raw)
+        if ctx is None:
+            sampled = True
+            if isinstance(raw, dict):
+                sampled = bool(raw.get("sample", True))
+            base = (
+                {k: v for k, v in payload.items() if k != WIRE_KEY}
+                if isinstance(payload, dict)
+                else payload
+            )
+            ctx = self.tracer.start_trace(base, sampled=sampled)
+        return self.tracer.span("handle", ctx, op=op)
 
     async def _handle_batch(self, payload: dict) -> tuple[int, dict, dict]:
         requests = (payload or {}).get("requests")
@@ -341,6 +386,7 @@ class MappingService:
 
     def _metrics_extra(self) -> dict:
         stats = self.scheduler.cache.stats()
+        trace_stats = self.tracer.buffer.stats()
         return {
             "cache_sessions_size": stats["sessions"]["size"],
             "cache_sessions_hits": stats["sessions"]["hits"],
@@ -352,6 +398,9 @@ class MappingService:
             "cache_disk_corrupt": stats["disk"]["corrupt"],
             "labelings_computed": stats["labelings_computed"],
             "kernel_backend": get_backend(),
+            "trace_buffer_traces": trace_stats["traces"],
+            "trace_buffer_spans": trace_stats["spans"],
+            "trace_buffer_dropped_spans": trace_stats["dropped_spans"],
         }
 
     def record_response(self, status: int) -> None:
@@ -387,6 +436,9 @@ def result_body(served: ServedResult) -> dict:
         # Informational only: a response-cache hit is full fidelity
         # (byte-identical to a recompute by the determinism contract).
         body["cached"] = True
+    if served.trace_id:
+        # The handle to this request's span tree in /debug/traces.
+        body["trace_id"] = served.trace_id
     return body
 
 
@@ -399,6 +451,7 @@ _ROUTES = {
     ("POST", "/batch"): "batch",
     ("GET", "/healthz"): "healthz",
     ("GET", "/metrics"): "metrics",
+    ("GET", "/debug/traces"): "traces",
 }
 
 
@@ -483,7 +536,7 @@ async def handle_http_connection(
                         "message": f"invalid JSON body: {exc}"}, {}
                 if op is not None:
                     query = {k: v[0] for k, v in parse_qs(url.query).items()}
-                    if op == "metrics" and query:
+                    if op in ("metrics", "traces") and query:
                         payload = {**(payload or {}), **query}
                     status, body, extra = await service.handle(op, payload)
             service.record_response(status)
@@ -640,6 +693,16 @@ class ServeSettings:
     #: > 0 serves through a consistent-hash front end over this many
     #: backend worker processes (see :mod:`repro.serve.shard`)
     shards: int = 0
+    #: end-to-end tracing (deterministic span trees in /debug/traces);
+    #: cheap enough to default on -- the bench gates overhead at <= 2%
+    trace: bool = True
+    #: trace ring-buffer bound (traces retained per process)
+    trace_buffer: int = 256
+    #: role tag stamped on this process's spans ("serve" standalone,
+    #: "shard" under a front end -- set by the shard spawner)
+    trace_process: str = "serve"
+    #: attach cProfile top-K hotspot frames to every compute span
+    profile: bool = False
 
 
 def build_service(settings: ServeSettings) -> MappingService:
@@ -656,6 +719,11 @@ def build_service(settings: ServeSettings) -> MappingService:
         FaultPlan.from_json(settings.faults)
         if settings.faults
         else FaultPlan.from_env()
+    )
+    tracer = configure_tracer(
+        process=settings.trace_process,
+        enabled=settings.trace,
+        max_traces=settings.trace_buffer,
     )
     scheduler = BatchScheduler(
         window_s=settings.window_ms / 1000.0,
@@ -675,6 +743,8 @@ def build_service(settings: ServeSettings) -> MappingService:
         faults=plan,
         response_cache_size=settings.response_cache,
         response_cache_bytes=settings.response_cache_bytes,
+        tracer=tracer,
+        profile=settings.profile,
     )
     return MappingService(scheduler, max_graph_n=settings.max_graph_n)
 
@@ -696,8 +766,7 @@ async def _amain(settings: ServeSettings) -> int:
                 sys.stdout.write(text + "\n")
                 sys.stdout.flush()
 
-            print("repro serve: stdio mode, one JSON request per line",
-                  file=sys.stderr)
+            get_logger("serve").info("serve_started", mode="stdio")
             await serve_stdio(service, reader, write_line)
             return 0
         server = await asyncio.start_server(
@@ -706,11 +775,15 @@ async def _amain(settings: ServeSettings) -> int:
             settings.port,
         )
         bound = server.sockets[0].getsockname()
-        print(f"repro serve: listening on http://{bound[0]}:{bound[1]} "
-              f"(window {settings.window_ms:g}ms, max_batch "
-              f"{settings.max_batch}, max_queue {settings.max_queue}, "
-              f"jobs {settings.jobs}, workers {settings.workers})",
-              file=sys.stderr, flush=True)
+        get_logger("serve").info(
+            "serve_listening",
+            url=f"http://{bound[0]}:{bound[1]}",
+            window_ms=settings.window_ms,
+            max_batch=settings.max_batch,
+            max_queue=settings.max_queue,
+            jobs=settings.jobs,
+            workers=settings.workers,
+        )
         async with server:
             await server.serve_forever()
         return 0

@@ -42,13 +42,19 @@ from __future__ import annotations
 
 import asyncio
 import hashlib
-import sys
 import threading
 import time
 from dataclasses import replace
 from functools import partial
 
 from repro.errors import ConfigurationError, ReproError, TransientError
+from repro.obs import configure_tracer, get_logger
+from repro.obs.trace import (
+    WIRE_KEY,
+    SpanContext,
+    Tracer,
+    merge_debug_snapshots,
+)
 from repro.serve.loadgen import http_request_json
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.service import (
@@ -145,6 +151,7 @@ class ShardFrontend:
         down_cooldown_s: float = 2.0,
         request_timeout_s: float = 120.0,
         clock=time.monotonic,
+        tracer=None,
     ) -> None:
         if fail_threshold < 1 or down_cooldown_s < 0:
             raise ConfigurationError(
@@ -159,6 +166,7 @@ class ShardFrontend:
         self.metrics = metrics if metrics is not None else MetricsRegistry(
             namespace="repro_shard"
         )
+        self.tracer = tracer if tracer is not None else Tracer(process="frontend")
         self._fails: dict[str, int] = {name: 0 for name in self.backends}
         self._down_until: dict[str, float] = {name: 0.0 for name in self.backends}
         m = self.metrics
@@ -210,21 +218,26 @@ class ShardFrontend:
         return up + [s for s in ranked if self._down_until[s] > now]
 
     # -- forwarding ----------------------------------------------------
-    async def _send(self, key: str, path: str, body: dict | None):
+    async def _send(self, key: str, path: str, body: dict | None, parent=None):
         """Forward one request along ``key``'s failover order."""
         last_exc: BaseException | None = None
         for shard in self._candidates(key):
             host, port = self.backends[shard]
+            span = self.tracer.span("forward", parent, shard=shard, path=path)
             try:
                 status, reply = await http_request_json(
                     host, port, "POST", path, body,
                     timeout=self.request_timeout_s,
                 )
             except TRANSPORT_ERRORS as exc:
+                span.set(error=type(exc).__name__)
+                span.finish(status="error")
                 self._mark_failure(shard)
                 self._m_failovers.inc(label=shard)
                 last_exc = exc
                 continue
+            span.set(status_code=status)
+            span.finish()
             self._mark_success(shard)
             self._m_routed.inc(label=shard)
             return status, reply
@@ -244,9 +257,18 @@ class ShardFrontend:
                 return await self._healthz()
             if op == "metrics":
                 return await self._metrics(payload)
+            if op == "traces":
+                return await self._traces(payload)
             if op in ("map", "enhance"):
                 key = str((payload or {}).get("topology", ""))
-                status, body = await self._send(key, f"/{op}", payload)
+                with self._open_frontend_span(op, payload) as span:
+                    forwarded = dict(payload or {})
+                    if span.context.trace_id:
+                        forwarded[WIRE_KEY] = span.context.to_wire()
+                    status, body = await self._send(
+                        key, f"/{op}", forwarded, parent=span.context
+                    )
+                    span.set(status_code=status)
                 return status, body, {}
             if op == "batch":
                 return await self._batch(payload)
@@ -259,6 +281,51 @@ class ShardFrontend:
         except ReproError as exc:
             return 400, {"ok": False, "error": "bad_request",
                          "message": str(exc)}, {}
+
+    def _open_frontend_span(self, op: str, payload: dict):
+        """Root span of a cross-process trace.
+
+        The trace id derives from the request payload's canonical JSON
+        (its run identity), and the span's context is stamped into the
+        forwarded body under ``payload["trace"]`` so the shard worker's
+        ``handle`` span -- and everything below it -- parents here.  A
+        client hint ``{"trace": {"sample": false}}`` opts out.
+        """
+        payload = payload if isinstance(payload, dict) else {}
+        raw = payload.get(WIRE_KEY)
+        ctx = SpanContext.from_wire(raw)
+        if ctx is None:
+            sampled = not (
+                isinstance(raw, dict) and raw.get("sample") is False
+            )
+            base = {k: v for k, v in payload.items() if k != WIRE_KEY}
+            ctx = self.tracer.start_trace(base, sampled=sampled)
+        return self.tracer.span("frontend", ctx, op=op)
+
+    async def _traces(self, payload: dict) -> tuple[int, dict, dict]:
+        """``/debug/traces`` aggregated across shards (like ``/metrics``):
+        per-process snapshots are merged by trace id, stitching the
+        frontend-rooted spans to the shard/pool halves."""
+        recent = int((payload or {}).get("recent", 20))
+        slowest = int((payload or {}).get("slowest", 5))
+        path = f"/debug/traces?recent={recent}&slowest={slowest}"
+        outs = await asyncio.gather(
+            *(self._probe(s, path) for s in self.router.shards)
+        )
+        snapshots = [self.tracer.debug_snapshot(recent=recent, slowest=slowest)]
+        per_shard: dict[str, dict] = {}
+        reachable = 0
+        for shard, (status, body) in zip(self.router.shards, outs):
+            if status == 200 and isinstance(body, dict):
+                reachable += 1
+                snapshots.append(body)
+                per_shard[shard] = body.get("buffer", {})
+            else:
+                per_shard[shard] = {"status": "unreachable"}
+        merged = merge_debug_snapshots(snapshots, recent=recent, slowest=slowest)
+        merged["shards_reporting"] = reachable
+        merged["shards"] = per_shard
+        return 200, merged, {}
 
     async def _batch(self, payload: dict) -> tuple[int, dict, dict]:
         requests = (payload or {}).get("requests")
@@ -427,7 +494,7 @@ class ShardCluster:
             parent_conn, child_conn = ctx.Pipe(duplex=False)
             proc = ctx.Process(
                 target=_shard_worker_main,
-                args=(worker_settings, child_conn),
+                args=(replace(worker_settings, trace_process=name), child_conn),
                 daemon=True,
                 name=f"repro-{name}",
             )
@@ -479,8 +546,13 @@ class ShardCluster:
 def run_sharded_server(settings: ServeSettings) -> int:
     """Blocking entry for ``repro serve --shards N``."""
 
+    tracer = configure_tracer(
+        process="frontend",
+        enabled=settings.trace,
+        max_traces=settings.trace_buffer,
+    )
     with ShardCluster(settings, settings.shards) as cluster:
-        frontend = ShardFrontend(cluster.backends)
+        frontend = ShardFrontend(cluster.backends, tracer=tracer)
 
         async def amain() -> None:
             server = await asyncio.start_server(
@@ -489,15 +561,15 @@ def run_sharded_server(settings: ServeSettings) -> int:
                 settings.port,
             )
             bound = server.sockets[0].getsockname()
-            routes = ", ".join(
-                f"{name}={host}:{port}"
+            routes = {
+                name: f"{host}:{port}"
                 for name, (host, port) in sorted(cluster.backends.items())
-            )
-            print(
-                f"repro serve: front end on http://{bound[0]}:{bound[1]} "
-                f"routing {settings.shards} shard(s) by topology ({routes})",
-                file=sys.stderr,
-                flush=True,
+            }
+            get_logger("serve.shard").info(
+                "frontend_listening",
+                url=f"http://{bound[0]}:{bound[1]}",
+                shards=settings.shards,
+                routes=routes,
             )
             async with server:
                 await server.serve_forever()

@@ -20,6 +20,7 @@ from repro.analysis.rules import (
     NoWallClockInIdentity,
     RegisterAtImportScope,
     ServeErrorTaxonomy,
+    StructuredLoggingOnly,
     default_rules,
 )
 
@@ -324,6 +325,65 @@ class TestCFG001:
         assert run_rule(ConfigIdentityCoverage(), src, "serve/scheduler.py") == []
 
 
+# ----------------------------------------------------------------------
+# OBS001
+# ----------------------------------------------------------------------
+class TestOBS001:
+    def test_fires_on_print_in_serve(self):
+        src = (
+            "def boot(port):\n"
+            "    print(f'listening on {port}')\n"
+        )
+        found = run_rule(StructuredLoggingOnly(), src, "serve/service.py")
+        assert len(found) == 1 and found[0].line == 2
+
+    def test_fires_on_stderr_write_in_runner(self):
+        src = (
+            "import sys\n"
+            "def report(msg):\n"
+            "    sys.stderr.write(msg + '\\n')\n"
+        )
+        found = run_rule(
+            StructuredLoggingOnly(), src, "experiments/runner.py"
+        )
+        assert len(found) == 1 and found[0].line == 3
+
+    def test_near_miss_stdout_protocol_writer_and_obs_logger(self):
+        # The shape of the stdio serve mode (stdout IS the protocol
+        # channel) and of sanctioned obs logging.
+        src = (
+            "import sys\n"
+            "from repro.obs import get_logger\n"
+            "def write_line(text):\n"
+            "    sys.stdout.write(text + '\\n')\n"
+            "    sys.stdout.flush()\n"
+            "def boot(port):\n"
+            "    get_logger('serve').info('serve_listening', port=port)\n"
+        )
+        assert run_rule(StructuredLoggingOnly(), src, "serve/service.py") == []
+
+    def test_suppression_needs_a_reason(self):
+        src = (
+            "def show(report):\n"
+            "    print(report)  # repro: allow[OBS001] "
+            "reason=CLI-facing report on stdout by contract\n"
+        )
+        findings = lint_source(
+            src,
+            path="serve/loadgen.py",
+            rules=[StructuredLoggingOnly()],
+            relpath=PurePosixPath("serve/loadgen.py"),
+        )
+        assert [f for f in findings if not f.suppressed] == []
+
+    def test_out_of_scope_cli_not_scanned(self):
+        src = "print('table output')\n"
+        assert run_rule(StructuredLoggingOnly(), src, "cli.py") == []
+        assert run_rule(
+            StructuredLoggingOnly(), src, "experiments/cli.py"
+        ) == []
+
+
 def test_rule_pack_has_all_contract_rules():
     ids = {r.id for r in default_rules()}
     assert ids == {
@@ -334,4 +394,5 @@ def test_rule_pack_has_all_contract_rules():
         "SRV002",
         "REG001",
         "CFG001",
+        "OBS001",
     }

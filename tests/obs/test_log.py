@@ -1,0 +1,74 @@
+"""JSON-lines event logger: envelope, binding, process fields."""
+
+import io
+import json
+
+from repro.obs.log import EventLogger, get_logger, set_process_fields
+
+
+def _lines(stream):
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestEventLogger:
+    def test_one_json_object_per_line_with_envelope(self):
+        stream = io.StringIO()
+        log = EventLogger("serve.pool", stream=stream)
+        log.info("worker_spawned", worker="w0", worker_generation=0)
+        log.warn("worker_crashed", worker="w0")
+        first, second = _lines(stream)
+        assert first["component"] == "serve.pool"
+        assert first["event"] == "worker_spawned"
+        assert first["level"] == "info"
+        assert first["worker_generation"] == 0
+        assert isinstance(first["ts"], float)
+        assert second["level"] == "warn"
+
+    def test_bind_stamps_fields_on_every_event(self):
+        stream = io.StringIO()
+        log = EventLogger("serve.pool", stream=stream).bind(pool="map")
+        log.info("worker_spawned")
+        (got,) = _lines(stream)
+        assert got["pool"] == "map"
+
+    def test_call_fields_override_bound_fields(self):
+        stream = io.StringIO()
+        log = EventLogger("c", stream=stream).bind(shard="a")
+        log.info("x", shard="b")
+        (got,) = _lines(stream)
+        assert got["shard"] == "b"
+
+    def test_process_fields_apply_and_unset(self):
+        stream = io.StringIO()
+        log = EventLogger("c", stream=stream)
+        set_process_fields(shard_id="shard1")
+        try:
+            log.info("routed")
+            (got,) = _lines(stream)
+            assert got["shard_id"] == "shard1"
+        finally:
+            set_process_fields(shard_id=None)
+        log.info("after")
+        assert "shard_id" not in _lines(stream)[-1]
+
+    def test_disabled_logger_emits_nothing(self):
+        stream = io.StringIO()
+        EventLogger("c", stream=stream, enabled=False).info("x")
+        assert stream.getvalue() == ""
+
+    def test_closed_stream_never_raises(self):
+        stream = io.StringIO()
+        stream.close()
+        EventLogger("c", stream=stream).info("x")  # must not raise
+
+    def test_non_json_values_are_stringified(self):
+        stream = io.StringIO()
+        EventLogger("c", stream=stream).info("x", obj={1, 2})
+        (got,) = _lines(stream)
+        assert isinstance(got["obj"], str)
+
+
+class TestGetLogger:
+    def test_memoized_per_component(self):
+        assert get_logger("serve.test") is get_logger("serve.test")
+        assert get_logger("serve.test") is not get_logger("serve.other")

@@ -1,0 +1,50 @@
+"""The cProfile hook: top-K frames, JSON-ready, exceptions propagate."""
+
+import json
+
+import pytest
+
+from repro.obs.profile import profile_call
+
+
+def _hot(n):
+    total = 0
+    for i in range(n):
+        total += _inner(i)
+    return total
+
+
+def _inner(i):
+    return i * i
+
+
+class TestProfileCall:
+    def test_returns_result_and_frames(self):
+        result, frames = profile_call(_hot, 500, top=5)
+        assert result == sum(i * i for i in range(500))
+        assert 1 <= len(frames) <= 5
+        names = " ".join(f["frame"] for f in frames)
+        assert "_hot" in names
+        for frame in frames:
+            assert set(frame) == {"frame", "calls", "tottime", "cumtime"}
+            assert frame["calls"] >= 1
+        json.dumps(frames)
+
+    def test_frames_sorted_by_cumulative_time(self):
+        _result, frames = profile_call(_hot, 2000, top=10)
+        cums = [f["cumtime"] for f in frames]
+        assert cums == sorted(cums, reverse=True)
+
+    def test_exceptions_propagate(self):
+        def bad():
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError, match="boom"):
+            profile_call(bad)
+
+    def test_kwargs_forwarded(self):
+        def f(a, b=0):
+            return a + b
+
+        result, _frames = profile_call(f, 1, b=2)
+        assert result == 3

@@ -87,6 +87,37 @@ class TestEndToEnd:
         assert payload["profile"]["requests"] == 10
         assert "ok in" in report.render()
 
+    def test_latency_summary_quantiles_and_splits(self):
+        scheduler = BatchScheduler(window_s=0.02, max_batch=8)
+        service = MappingService(scheduler)
+        profile = LoadProfile(
+            requests=12, rate=300.0, seed=0, nh=1, seed_pool=1,
+        )
+        try:
+            # fire twice: the second pass replays identities the first
+            # computed, so its replies come from the response cache
+            first = asyncio.run(run_load(profile, service=service))
+            replay = asyncio.run(run_load(profile, service=service))
+        finally:
+            scheduler.close()
+            register_admission_hook(None)
+        overall = first.latency_summary["overall"]
+        assert overall["count"] == 12
+        assert set(overall) == {"count", "mean", "max", "p50", "p95", "p99"}
+        assert overall["p50"] <= overall["p95"] <= overall["p99"]
+        assert set(first.latency_summary["by_endpoint"]) == {"map"}
+        assert first.latency_summary["by_endpoint"]["map"]["count"] == 12
+        # the split populations partition each run: the first pass
+        # computed everything, the replay served everything from cache
+        assert first.latency_summary["uncached"]["count"] == 12
+        assert first.latency_summary["cached"] == {"count": 0}
+        summary = replay.latency_summary
+        assert summary["cached"]["count"] == replay.cached == 12
+        assert summary["uncached"] == {"count": 0}
+        assert summary["degraded"] == {"count": 0}
+        # cache hits skip compute entirely: visibly cheaper
+        assert summary["cached"]["p50"] < overall["p50"]
+
 
 class TestTrafficKnobs:
     def test_default_plan_unchanged_by_knob_code(self):

@@ -22,6 +22,14 @@ class TestCounterGauge:
         g.dec(2)
         assert g.value == 3
 
+    def test_gauge_labels_track_last_value_per_label(self):
+        g = Gauge("quality_cut_edges")
+        g.set(12, label="grid4x4")
+        g.set(7, label="hq4")
+        g.set(9, label="grid4x4")  # overwrite, not accumulate
+        assert g.value == 9
+        assert g.labels() == {"grid4x4": 9, "hq4": 7}
+
 
 class TestHistogram:
     def test_exact_stats(self):
@@ -56,6 +64,42 @@ class TestHistogram:
             h.percentile(1.5)
         with pytest.raises(ConfigurationError):
             Histogram("bad", bounds=(2.0, 1.0))
+
+    def test_empty_every_quantile_is_zero(self):
+        h = Histogram("lat")
+        for q in (0.0, 0.5, 1.0):
+            assert h.percentile(q) == 0.0
+
+    def test_boundary_quantiles_are_exact_min_and_max(self):
+        h = Histogram("lat", bounds=(0.1, 1.0, 10.0))
+        for v in (0.07, 0.4, 0.4, 3.0):
+            h.observe(v)
+        assert h.percentile(0.0) == 0.07  # exact min, never interpolated
+        assert h.percentile(1.0) == 3.0   # exact max, never interpolated
+
+    def test_single_observation_is_every_quantile(self):
+        # One sample exactly on a bucket boundary: interpolation would
+        # report a fraction of the bucket width; the sample itself is
+        # the only honest answer at every q.
+        h = Histogram("lat", bounds=(0.1, 1.0))
+        h.observe(0.1)
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert h.percentile(q) == 0.1
+
+    def test_single_observation_in_overflow_bucket(self):
+        h = Histogram("lat", bounds=(1.0,))
+        h.observe(42.0)
+        assert h.percentile(0.0) == 42.0
+        assert h.percentile(0.5) == 42.0
+        assert h.percentile(1.0) == 42.0
+
+    def test_quantiles_stay_monotone_and_clamped(self):
+        h = Histogram("lat", bounds=(0.1, 0.2, 0.4, 0.8))
+        for v in (0.1, 0.1, 0.2, 0.2, 0.8):
+            h.observe(v)
+        qs = [h.percentile(q) for q in (0.0, 0.1, 0.5, 0.9, 1.0)]
+        assert qs == sorted(qs)
+        assert all(h.min <= v <= h.max for v in qs)
 
 
 class TestRegistry:
